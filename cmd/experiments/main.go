@@ -1,0 +1,100 @@
+// Command experiments reproduces the paper's tables and figures on the
+// scaled synthetic presets and prints them in order.
+//
+// Usage:
+//
+//	experiments                 # run everything (takes a while)
+//	experiments -only table1,fig9
+//	experiments -quick          # heavily scaled-down smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tcss/internal/experiments"
+)
+
+type runner struct {
+	name string
+	run  func(experiments.Options) (*experiments.Table, error)
+}
+
+func runners() []runner {
+	return []runner{
+		{"table1", experiments.TableI},
+		{"table2", experiments.TableII},
+		{"table3", experiments.TableIII},
+		{"table4", experiments.TableIV},
+		{"fig4", experiments.Fig4},
+		{"fig5", experiments.Fig5},
+		{"fig6", experiments.Fig6},
+		{"fig7", experiments.Fig7},
+		{"fig8", experiments.Fig8},
+		{"fig9", experiments.Fig9},
+		{"fig10", experiments.Fig10},
+		{"fig11", experiments.Fig11},
+		{"fig12", experiments.Fig12},
+		{"fig13", experiments.Fig13},
+		{"ablation-alpha", experiments.AblationAlpha},
+		{"ablation-entropy", experiments.AblationEntropy},
+		{"ablation-subsampling", experiments.AblationUserSubsampling},
+		{"ablation-granularity", experiments.AblationGranularity},
+	}
+}
+
+func main() {
+	var (
+		only   = flag.String("only", "", "comma-separated experiment names (default: all)")
+		quick  = flag.Bool("quick", false, "scaled-down smoke run")
+		seed   = flag.Int64("seed", 7, "experiment seed")
+		list   = flag.Bool("list", false, "list experiment names and exit")
+		csvDir = flag.String("csv", "", "also export each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range runners() {
+			fmt.Println(r.name)
+		}
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	opts.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(name))] = true
+		}
+	}
+
+	for _, r := range runners() {
+		if len(want) > 0 && !want[r.name] {
+			continue
+		}
+		start := time.Now()
+		table, err := r.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(table)
+		fmt.Printf("(%s finished in %v)\n\n", r.name, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path, err := table.ExportDir(*csvDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: exporting %s: %v\n", r.name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(exported to %s)\n\n", path)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Command tcss trains and evaluates the TCSS model (or one of its ablation
+// variants) on a generated preset or a dataset directory, prints Hit@10 and
+// MRR under the paper's protocol, and optionally prints top-N
+// recommendations for a user.
+//
+// Usage:
+//
+//	tcss -preset gowalla                         # generate, train, evaluate
+//	tcss -data ./data/gowalla                    # same on a saved dataset
+//	tcss -preset yelp -variant self-hausdorff    # ablation variant
+//	tcss -preset gowalla -recommend 12 -time 5   # top POIs for user 12, June
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tcss"
+	"tcss/internal/lbsn"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "", fmt.Sprintf("generate a preset dataset, one of %v", lbsn.PresetNames()))
+		data      = flag.String("data", "", "load a dataset directory written by datagen")
+		gran      = flag.String("granularity", "month", "time granularity: month, week or hour")
+		variant   = flag.String("variant", "social", "head variant: social, self, none, zero-out")
+		initName  = flag.String("init", "spectral", "initialization: spectral, random, one-hot")
+		negSample = flag.Bool("negative-sampling", false, "use negative sampling instead of the whole-data loss")
+		epochs    = flag.Int("epochs", 0, "training epochs (0 = default)")
+		rank      = flag.Int("rank", 0, "embedding rank (0 = default 10)")
+		lambda    = flag.Float64("lambda", -1, "social head weight (-1 = default)")
+		seed      = flag.Int64("seed", 7, "seed for generation, splitting and training")
+		recommend = flag.Int("recommend", -1, "print top-10 recommendations for this user id")
+		timeUnit  = flag.Int("time", 0, "time unit for -recommend")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*preset, *data, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcss:", err)
+		os.Exit(1)
+	}
+	g, err := parseGranularity(*gran)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcss:", err)
+		os.Exit(1)
+	}
+
+	cfg := tcss.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NegSampling = *negSample
+	if *epochs > 0 {
+		cfg.Epochs = *epochs
+	}
+	if *rank > 0 {
+		cfg.Rank = *rank
+	}
+	if *lambda >= 0 {
+		cfg.Lambda = *lambda
+	}
+	if err := applyVariant(&cfg, *variant); err != nil {
+		fmt.Fprintln(os.Stderr, "tcss:", err)
+		os.Exit(1)
+	}
+	if err := applyInit(&cfg, *initName); err != nil {
+		fmt.Fprintln(os.Stderr, "tcss:", err)
+		os.Exit(1)
+	}
+
+	s := ds.Summary()
+	fmt.Printf("dataset %s: users=%d pois=%d check-ins=%d density=%.4f%%\n",
+		ds.Name, s.Users, s.POIs, s.CheckIns, 100*s.TensorDensityMonth)
+	fmt.Printf("training TCSS (%s, init=%s, rank=%d, epochs=%d, lambda=%g)...\n",
+		cfg.Variant, cfg.Init, cfg.Rank, cfg.Epochs, cfg.Lambda)
+
+	rec, err := tcss.Fit(ds, g, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcss:", err)
+		os.Exit(1)
+	}
+	res := rec.Evaluate()
+	fmt.Printf("held-out evaluation: Hit@10=%.4f MRR=%.4f (%d test check-ins)\n",
+		res.HitAtK, res.MRR, len(rec.Test))
+
+	if *recommend >= 0 {
+		if *recommend >= ds.NumUsers {
+			fmt.Fprintf(os.Stderr, "tcss: user %d out of range (0-%d)\n", *recommend, ds.NumUsers-1)
+			os.Exit(1)
+		}
+		fmt.Printf("top-10 POIs for user %d at %s unit %d:\n", *recommend, g, *timeUnit)
+		for rank, r := range rec.Recommend(*recommend, *timeUnit, 10) {
+			p := ds.POIs[r.POI]
+			fmt.Printf("  %2d. POI %-4d  %-13s (%.4f, %.4f)  score %.4f\n",
+				rank+1, r.POI, p.Category, p.Loc.Lat, p.Loc.Lon, r.Score)
+		}
+	}
+}
+
+func loadDataset(preset, data string, seed int64) (*tcss.Dataset, error) {
+	switch {
+	case preset != "" && data != "":
+		return nil, fmt.Errorf("use either -preset or -data, not both")
+	case preset != "":
+		cfg, err := lbsn.NewPreset(preset, seed)
+		if err != nil {
+			return nil, err
+		}
+		return lbsn.Generate(cfg)
+	case data != "":
+		return tcss.LoadDataset(data, data)
+	default:
+		return nil, fmt.Errorf("one of -preset or -data is required")
+	}
+}
+
+func parseGranularity(s string) (tcss.Granularity, error) {
+	switch strings.ToLower(s) {
+	case "month":
+		return tcss.Month, nil
+	case "week":
+		return tcss.Week, nil
+	case "hour":
+		return tcss.Hour, nil
+	}
+	return tcss.Month, fmt.Errorf("unknown granularity %q", s)
+}
+
+func applyVariant(cfg *tcss.Config, s string) error {
+	switch strings.ToLower(s) {
+	case "social":
+		cfg.Variant = tcss.SocialHausdorff
+	case "self":
+		cfg.Variant = tcss.SelfHausdorff
+	case "none":
+		cfg.Variant = tcss.NoHausdorff
+		cfg.Lambda = 0
+	case "zero-out":
+		cfg.Variant = tcss.ZeroOut
+		cfg.Lambda = 0
+	default:
+		return fmt.Errorf("unknown variant %q", s)
+	}
+	return nil
+}
+
+func applyInit(cfg *tcss.Config, s string) error {
+	switch strings.ToLower(s) {
+	case "spectral":
+		cfg.Init = tcss.SpectralInit
+	case "random":
+		cfg.Init = tcss.RandomInit
+	case "one-hot":
+		cfg.Init = tcss.OneHotInit
+	default:
+		return fmt.Errorf("unknown init %q", s)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+
+	"tcss"
+)
+
+func TestParseGranularity(t *testing.T) {
+	cases := map[string]tcss.Granularity{
+		"month": tcss.Month, "Week": tcss.Week, "HOUR": tcss.Hour,
+	}
+	for in, want := range cases {
+		got, err := parseGranularity(in)
+		if err != nil || got != want {
+			t.Fatalf("parseGranularity(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseGranularity("day"); err == nil {
+		t.Fatal("unknown granularity must error")
+	}
+}
+
+func TestApplyVariant(t *testing.T) {
+	cfg := tcss.DefaultConfig()
+	if err := applyVariant(&cfg, "self"); err != nil || cfg.Variant != tcss.SelfHausdorff {
+		t.Fatalf("self variant: %v %v", cfg.Variant, err)
+	}
+	if err := applyVariant(&cfg, "none"); err != nil || cfg.Variant != tcss.NoHausdorff || cfg.Lambda != 0 {
+		t.Fatal("none variant must zero lambda")
+	}
+	if err := applyVariant(&cfg, "zero-out"); err != nil || cfg.Variant != tcss.ZeroOut {
+		t.Fatal("zero-out variant")
+	}
+	if err := applyVariant(&cfg, "social"); err != nil || cfg.Variant != tcss.SocialHausdorff {
+		t.Fatal("social variant")
+	}
+	if err := applyVariant(&cfg, "bogus"); err == nil {
+		t.Fatal("unknown variant must error")
+	}
+}
+
+func TestApplyInit(t *testing.T) {
+	cfg := tcss.DefaultConfig()
+	for in, want := range map[string]tcss.InitMethod{
+		"spectral": tcss.SpectralInit, "random": tcss.RandomInit, "one-hot": tcss.OneHotInit,
+	} {
+		if err := applyInit(&cfg, in); err != nil || cfg.Init != want {
+			t.Fatalf("applyInit(%q) = %v, %v", in, cfg.Init, err)
+		}
+	}
+	if err := applyInit(&cfg, "xavier"); err == nil {
+		t.Fatal("unknown init must error")
+	}
+}
+
+func TestLoadDatasetValidation(t *testing.T) {
+	if _, err := loadDataset("", "", 1); err == nil {
+		t.Fatal("neither preset nor data must error")
+	}
+	if _, err := loadDataset("gowalla", "/tmp/x", 1); err == nil {
+		t.Fatal("both preset and data must error")
+	}
+	if _, err := loadDataset("unknown-preset", "", 1); err == nil {
+		t.Fatal("unknown preset must error")
+	}
+}

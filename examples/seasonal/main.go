@@ -1,0 +1,100 @@
+// Seasonal: shows why the time dimension matters. Trains TCSS on the
+// Gowalla-like preset, then (a) prints how the predicted score of an
+// outdoor POI moves across the months of a year, (b) prints the
+// month-factor cosine-similarity matrix whose block structure the paper's
+// Figure 6 visualizes, and (c) compares per-category seasonality strength as
+// in Figure 7.
+//
+//	go run ./examples/seasonal
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"tcss"
+	"tcss/internal/lbsn"
+)
+
+var monthNames = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+
+func main() {
+	ds := tcss.GenerateDataset("gowalla", 23)
+	cfg := tcss.DefaultConfig()
+	cfg.Seed = 23
+	cfg.Epochs = 150
+	cfg.UsersPerEpoch = 120
+	rec, err := tcss.Fit(ds, tcss.Month, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// (a) Scores across the year for one user and one outdoor POI the user
+	// visited in training (pick the first outdoor training check-in).
+	var user, poi = -1, -1
+	for _, e := range rec.Train.Entries() {
+		if ds.POIs[e.J].Category == lbsn.Outdoor {
+			user, poi = e.I, e.J
+			break
+		}
+	}
+	if user < 0 {
+		log.Fatal("no outdoor training check-in found")
+	}
+	fmt.Printf("score of user %d at outdoor POI %d (peak month %s) across the year:\n",
+		user, poi, monthNames[ds.POIs[poi].PeakMonth])
+	scores := rec.Model.TimeScores(user, poi)
+	for k, s := range scores {
+		bar := strings.Repeat("#", int(clamp(s, 0, 1)*40))
+		fmt.Printf("  %s %6.3f %s\n", monthNames[k], s, bar)
+	}
+
+	// (b) Month-factor similarity heatmap (Figure 6): nearby months should
+	// be more similar than months half a year apart.
+	fmt.Println("\nmonth-factor cosine similarity (x10, rounded):")
+	sim := rec.Model.TimeFactorSimilarity()
+	fmt.Print("     ")
+	for k := 0; k < 12; k++ {
+		fmt.Printf("%4s", monthNames[k][:3])
+	}
+	fmt.Println()
+	for a := 0; a < 12; a++ {
+		fmt.Printf("  %s", monthNames[a])
+		for b := 0; b < 12; b++ {
+			fmt.Printf("%4.0f", 10*sim.At(a, b))
+		}
+		fmt.Println()
+	}
+
+	// (c) Per-category seasonality (Figure 7): train one model per category
+	// slice and compare adjacent-month vs half-year factor similarity. The
+	// paper finds food the least seasonal.
+	fmt.Println("\nper-category seasonality (adjacent-month sim minus half-year sim):")
+	for _, cat := range lbsn.Categories() {
+		sliced := ds.CategorySlice(cat)
+		catCfg := cfg
+		catCfg.Epochs = 80
+		catRec, err := tcss.Fit(sliced, tcss.Month, catCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := catRec.Model.TimeFactorSimilarity()
+		var adj, far float64
+		for a := 0; a < 12; a++ {
+			adj += s.At(a, (a+1)%12) / 12
+			far += s.At(a, (a+6)%12) / 12
+		}
+		fmt.Printf("  %-13s block score %+.3f\n", cat, adj-far)
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

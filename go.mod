@@ -1,0 +1,3 @@
+module tcss
+
+go 1.22

@@ -1,0 +1,393 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"tcss/internal/mat"
+	"tcss/internal/tensor"
+)
+
+// Tucker fits a Tucker decomposition X ≈ G ×₁U1 ×₂U2 ×₃U3 of the full binary
+// tensor via HOOI (higher-order orthogonal iteration): each sweep updates one
+// factor to the top-r left singular vectors of the tensor contracted with the
+// other two factors, and finally recomputes the core G = X ×₁U1ᵀ ×₂U2ᵀ ×₃U3ᵀ.
+// All contractions run directly over the sparse entries.
+type Tucker struct {
+	Sweeps int
+
+	u1, u2, u3 *mat.Matrix
+	core       []float64 // r×r×r, c-order (a fastest-varying last)
+	r          int
+}
+
+// NewTucker returns a Tucker baseline with the default sweep count.
+func NewTucker() *Tucker { return &Tucker{Sweeps: 10} }
+
+// Name implements Recommender.
+func (t *Tucker) Name() string { return "Tucker" }
+
+// Fit implements Recommender.
+func (t *Tucker) Fit(ctx *Context) error {
+	x := ctx.Train
+	r := ctx.Rank
+	if r <= 0 {
+		return fmt.Errorf("baselines: Tucker needs positive rank, got %d", r)
+	}
+	if r > x.DimK {
+		r = x.DimK // rank cannot exceed the smallest mode
+	}
+	t.r = r
+	rng := rand.New(rand.NewSource(ctx.Seed))
+	t.u1 = randomOrthonormal(x.DimI, r, rng)
+	t.u2 = randomOrthonormal(x.DimJ, r, rng)
+	t.u3 = randomOrthonormal(x.DimK, r, rng)
+
+	for sweep := 0; sweep < t.Sweeps; sweep++ {
+		var err error
+		if t.u1, err = hooiFactor(x, tensor.ModeUser, t.u2, t.u3, r, rng); err != nil {
+			return err
+		}
+		if t.u2, err = hooiFactor(x, tensor.ModePOI, t.u1, t.u3, r, rng); err != nil {
+			return err
+		}
+		if t.u3, err = hooiFactor(x, tensor.ModeTime, t.u1, t.u2, r, rng); err != nil {
+			return err
+		}
+	}
+	t.core = tuckerCore(x, t.u1, t.u2, t.u3, r)
+	return nil
+}
+
+// contract computes, for the given mode, the matrix W (dim_mode × r²) with
+// W[i, a*r+b] = Σ_{entries in fiber i} val · A[ja] · B[kb], where A and B are
+// the factors of the other two modes in mode order.
+func contract(x *tensor.COO, mode tensor.Mode, a, b *mat.Matrix, r int) *mat.Matrix {
+	var dim int
+	switch mode {
+	case tensor.ModeUser:
+		dim = x.DimI
+	case tensor.ModePOI:
+		dim = x.DimJ
+	case tensor.ModeTime:
+		dim = x.DimK
+	}
+	w := mat.New(dim, r*r)
+	for _, e := range x.Entries() {
+		var row int
+		var av, bv []float64
+		switch mode {
+		case tensor.ModeUser:
+			row, av, bv = e.I, a.Row(e.J), b.Row(e.K)
+		case tensor.ModePOI:
+			row, av, bv = e.J, a.Row(e.I), b.Row(e.K)
+		case tensor.ModeTime:
+			row, av, bv = e.K, a.Row(e.I), b.Row(e.J)
+		}
+		dst := w.Row(row)
+		for p := 0; p < r; p++ {
+			vp := e.Val * av[p]
+			if vp == 0 {
+				continue
+			}
+			for q := 0; q < r; q++ {
+				dst[p*r+q] += vp * bv[q]
+			}
+		}
+	}
+	return w
+}
+
+// hooiFactor returns the top-r left singular vectors of the mode-n
+// contraction, the HOOI factor update.
+func hooiFactor(x *tensor.COO, mode tensor.Mode, a, b *mat.Matrix, r int, rng *rand.Rand) (*mat.Matrix, error) {
+	w := contract(x, mode, a, b, r)
+	svd, err := mat.ThinSVD(w, r, rng)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: HOOI mode-%d SVD: %w", mode, err)
+	}
+	return svd.U, nil
+}
+
+// tuckerCore computes G[a,b,c] = Σ entries val·U1[i,a]·U2[j,b]·U3[k,c].
+func tuckerCore(x *tensor.COO, u1, u2, u3 *mat.Matrix, r int) []float64 {
+	core := make([]float64, r*r*r)
+	for _, e := range x.Entries() {
+		ra, rb, rc := u1.Row(e.I), u2.Row(e.J), u3.Row(e.K)
+		for a := 0; a < r; a++ {
+			va := e.Val * ra[a]
+			if va == 0 {
+				continue
+			}
+			for b := 0; b < r; b++ {
+				vb := va * rb[b]
+				if vb == 0 {
+					continue
+				}
+				base := (a*r + b) * r
+				for c := 0; c < r; c++ {
+					core[base+c] += vb * rc[c]
+				}
+			}
+		}
+	}
+	return core
+}
+
+// randomOrthonormal returns an n×r matrix with orthonormal columns.
+func randomOrthonormal(n, r int, rng *rand.Rand) *mat.Matrix {
+	m := mat.RandomNormal(n, r, 1, rng)
+	// Orthonormalize through the Gram-based SVD of the package.
+	svd, err := mat.ThinSVD(m, r, rng)
+	if err != nil {
+		panic(err)
+	}
+	return svd.U
+}
+
+// Score implements Recommender with the Tucker prediction of Eq (2).
+func (t *Tucker) Score(i, j, k int) float64 {
+	return tuckerScore(t.core, t.r, t.u1.Row(i), t.u2.Row(j), t.u3.Row(k))
+}
+
+func tuckerScore(core []float64, r int, ra, rb, rc []float64) float64 {
+	var s float64
+	for a := 0; a < r; a++ {
+		if ra[a] == 0 {
+			continue
+		}
+		for b := 0; b < r; b++ {
+			vb := ra[a] * rb[b]
+			if vb == 0 {
+				continue
+			}
+			base := (a*r + b) * r
+			for c := 0; c < r; c++ {
+				s += vb * rc[c] * core[base+c]
+			}
+		}
+	}
+	return s
+}
+
+// PTucker is the scalable sparse Tucker factorization of Oh et al. (ICDE
+// 2018): it treats unobserved cells as missing (not zero) and updates each
+// factor row by solving its ridge-regularized normal equations over the
+// observed entries of that row's slice, with all rows of a mode updated in
+// parallel. The core is recomputed from the (orthonormalized) factors after
+// each sweep.
+type PTucker struct {
+	Ridge  float64
+	Sweeps int
+
+	u1, u2, u3 *mat.Matrix
+	core       []float64
+	r          int
+}
+
+// NewPTucker returns a P-Tucker baseline with the defaults used in the
+// experiments.
+func NewPTucker() *PTucker { return &PTucker{Ridge: 0.1, Sweeps: 8} }
+
+// Name implements Recommender.
+func (p *PTucker) Name() string { return "P-Tucker" }
+
+// Fit implements Recommender. P-Tucker regresses on the observed entries
+// only, so it fits the count-valued tensor when the context provides one
+// (see Context.Counts).
+func (p *PTucker) Fit(ctx *Context) error {
+	x := ctx.ObservedValues()
+	r := ctx.Rank
+	if r <= 0 {
+		return fmt.Errorf("baselines: P-Tucker needs positive rank, got %d", r)
+	}
+	if r > x.DimK {
+		r = x.DimK
+	}
+	p.r = r
+	rng := rand.New(rand.NewSource(ctx.Seed))
+	p.u1 = randomOrthonormal(x.DimI, r, rng)
+	p.u2 = randomOrthonormal(x.DimJ, r, rng)
+	p.u3 = randomOrthonormal(x.DimK, r, rng)
+	p.core = tuckerCore(x, p.u1, p.u2, p.u3, r)
+
+	// Entries grouped by each mode's row index, built once.
+	byI := groupEntries(x, tensor.ModeUser)
+	byJ := groupEntries(x, tensor.ModePOI)
+	byK := groupEntries(x, tensor.ModeTime)
+
+	for sweep := 0; sweep < p.Sweeps; sweep++ {
+		if err := p.updateRows(byI, tensor.ModeUser); err != nil {
+			return err
+		}
+		if err := p.updateRows(byJ, tensor.ModePOI); err != nil {
+			return err
+		}
+		if err := p.updateRows(byK, tensor.ModeTime); err != nil {
+			return err
+		}
+		// The projection G = X ×ₙ Uᵀ is only the least-squares core for
+		// orthonormal factors, so orthonormalize each factor (keeping its
+		// column span, which is what the row updates learned) before
+		// recomputing the core.
+		var err error
+		if p.u1, err = orthonormalize(p.u1, rng); err != nil {
+			return err
+		}
+		if p.u2, err = orthonormalize(p.u2, rng); err != nil {
+			return err
+		}
+		if p.u3, err = orthonormalize(p.u3, rng); err != nil {
+			return err
+		}
+		p.core = tuckerCore(x, p.u1, p.u2, p.u3, r)
+	}
+	return nil
+}
+
+// orthonormalize returns an orthonormal basis of the column span of m.
+func orthonormalize(m *mat.Matrix, rng *rand.Rand) (*mat.Matrix, error) {
+	svd, err := mat.ThinSVD(m, m.Cols, rng)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: orthonormalizing factor: %w", err)
+	}
+	return svd.U, nil
+}
+
+func groupEntries(x *tensor.COO, mode tensor.Mode) [][]tensor.Entry {
+	var dim int
+	switch mode {
+	case tensor.ModeUser:
+		dim = x.DimI
+	case tensor.ModePOI:
+		dim = x.DimJ
+	case tensor.ModeTime:
+		dim = x.DimK
+	}
+	out := make([][]tensor.Entry, dim)
+	for _, e := range x.Entries() {
+		switch mode {
+		case tensor.ModeUser:
+			out[e.I] = append(out[e.I], e)
+		case tensor.ModePOI:
+			out[e.J] = append(out[e.J], e)
+		case tensor.ModeTime:
+			out[e.K] = append(out[e.K], e)
+		}
+	}
+	return out
+}
+
+// updateRows performs the fully parallel row-wise ALS update of one mode,
+// the core algorithmic idea of P-Tucker.
+func (p *PTucker) updateRows(groups [][]tensor.Entry, mode tensor.Mode) error {
+	r := p.r
+	var target *mat.Matrix
+	switch mode {
+	case tensor.ModeUser:
+		target = p.u1
+	case tensor.ModePOI:
+		target = p.u2
+	case tensor.ModeTime:
+		target = p.u3
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			design := make([]float64, r)
+			for row := w; row < len(groups); row += workers {
+				entries := groups[row]
+				if len(entries) == 0 {
+					continue
+				}
+				ata := mat.New(r, r)
+				atb := make([]float64, r)
+				for _, e := range entries {
+					p.designVector(mode, e, design)
+					for a := 0; a < r; a++ {
+						if design[a] == 0 {
+							continue
+						}
+						atb[a] += design[a] * e.Val
+						arow := ata.Row(a)
+						for b := 0; b < r; b++ {
+							arow[b] += design[a] * design[b]
+						}
+					}
+				}
+				ata.AddRidge(p.Ridge)
+				sol, err := mat.SolveSPD(ata, atb)
+				if err != nil {
+					errs[w] = fmt.Errorf("baselines: P-Tucker row %d mode %d: %w", row, mode, err)
+					return
+				}
+				copy(target.Row(row), sol)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// designVector fills dst with the length-r regression features of one
+// observed entry for the given mode: dst[a] = Σ_{b,c} G[a,b,c]·(other
+// factors), arranged so the entry's prediction is dst·row.
+func (p *PTucker) designVector(mode tensor.Mode, e tensor.Entry, dst []float64) {
+	r := p.r
+	for a := range dst {
+		dst[a] = 0
+	}
+	switch mode {
+	case tensor.ModeUser:
+		rb, rc := p.u2.Row(e.J), p.u3.Row(e.K)
+		for a := 0; a < r; a++ {
+			var s float64
+			for b := 0; b < r; b++ {
+				base := (a*r + b) * r
+				for c := 0; c < r; c++ {
+					s += p.core[base+c] * rb[b] * rc[c]
+				}
+			}
+			dst[a] = s
+		}
+	case tensor.ModePOI:
+		ra, rc := p.u1.Row(e.I), p.u3.Row(e.K)
+		for b := 0; b < r; b++ {
+			var s float64
+			for a := 0; a < r; a++ {
+				base := (a*r + b) * r
+				for c := 0; c < r; c++ {
+					s += p.core[base+c] * ra[a] * rc[c]
+				}
+			}
+			dst[b] = s
+		}
+	case tensor.ModeTime:
+		ra, rb := p.u1.Row(e.I), p.u2.Row(e.J)
+		for c := 0; c < r; c++ {
+			var s float64
+			for a := 0; a < r; a++ {
+				for b := 0; b < r; b++ {
+					s += p.core[(a*r+b)*r+c] * ra[a] * rb[b]
+				}
+			}
+			dst[c] = s
+		}
+	}
+}
+
+// Score implements Recommender.
+func (p *PTucker) Score(i, j, k int) float64 {
+	return tuckerScore(p.core, p.r, p.u1.Row(i), p.u2.Row(j), p.u3.Row(k))
+}

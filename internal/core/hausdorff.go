@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"tcss/internal/geo"
+)
+
+// GeneralizedMean computes M_α[x₁..x_n] = ((1/n)·Σ xᵢ^α)^(1/α), the smooth
+// minimum surrogate of Eq (10). As α → −∞ it converges to min(x); the paper
+// uses α = −1 as the balance between approximation quality and gradient
+// smoothness. All inputs must be positive (the Hausdorff head guards its
+// distances away from zero before calling).
+func GeneralizedMean(xs []float64, alpha float64) float64 {
+	if len(xs) == 0 {
+		panic("core: GeneralizedMean of empty slice")
+	}
+	if alpha == 0 {
+		// Geometric mean, the α→0 limit.
+		var s float64
+		for _, x := range xs {
+			s += math.Log(x)
+		}
+		return math.Exp(s / float64(len(xs)))
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Pow(x, alpha)
+	}
+	return math.Pow(s/float64(len(xs)), 1/alpha)
+}
+
+// Hausdorff evaluates the social Hausdorff distance loss head L1 (Eq 12-13):
+// for each user, the location-entropy-weighted, probability-weighted average
+// Hausdorff distance between the user's predicted POI distribution S(v) and
+// the set N(v) of POIs the user's friends visited. Both Eq (10) terms are
+// implemented, with the smooth minimum M_α making the second term
+// differentiable in the visit probabilities.
+// All distances inside the head are normalized by d_max, making the loss
+// dimensionless: d'(j,j') = d(j,j')/d_max ∈ [0,1] and the far-POI penalty is
+// exactly 1. This only rescales λ (the paper's raw-kilometer formulation is
+// recovered by multiplying λ by d_max) but keeps the head's gradients on the
+// same scale as the least-squares head, which matters for Adam's
+// second-moment estimates: with raw kilometers and a continental d_max the
+// head's spikes on friend-POI rows would dwarf the L2 gradients and freeze
+// exactly the embeddings the recommendations depend on.
+type Hausdorff struct {
+	Dist       *geo.DistanceMatrix
+	EntropyW   []float64 // e_j = exp(−E_j) per POI (Eq 11/12); nil disables weighting
+	FriendPOIs [][]int   // N(v) per user; empty slice skips the user
+	Alpha      float64   // smooth-minimum exponent, paper default −1
+	Epsilon    float64   // division guard, paper default 1e-6
+
+	minDCache map[int][]float64
+	mu        sync.Mutex
+}
+
+// NewHausdorff builds the loss head with the paper's default α = −1 and
+// ε = 1e-6. entropyW may be nil to disable location-entropy weighting.
+func NewHausdorff(dist *geo.DistanceMatrix, entropyW []float64, friendPOIs [][]int) *Hausdorff {
+	if entropyW != nil && len(entropyW) != dist.N {
+		panic(fmt.Sprintf("core: entropy weights %d vs %d POIs", len(entropyW), dist.N))
+	}
+	return &Hausdorff{
+		Dist: dist, EntropyW: entropyW, FriendPOIs: friendPOIs,
+		Alpha: -1, Epsilon: 1e-6,
+		minDCache: make(map[int][]float64),
+	}
+}
+
+func (h *Hausdorff) entropy(j int) float64 {
+	if h.EntropyW == nil {
+		return 1
+	}
+	return h.EntropyW[j]
+}
+
+// minDistances returns, for user i, min_{j'∈N(v_i)} d(j, j')/d_max for every
+// POI j. The result is cached: it depends only on the fixed friend sets.
+func (h *Hausdorff) minDistances(i int) []float64 {
+	h.mu.Lock()
+	if cached, ok := h.minDCache[i]; ok {
+		h.mu.Unlock()
+		return cached
+	}
+	h.mu.Unlock()
+	n := h.FriendPOIs[i]
+	inv := h.invDMax()
+	out := make([]float64, h.Dist.N)
+	for j := range out {
+		best := math.Inf(1)
+		for _, jp := range n {
+			if d := h.Dist.At(j, jp); d < best {
+				best = d
+			}
+		}
+		out[j] = best * inv
+	}
+	h.mu.Lock()
+	h.minDCache[i] = out
+	h.mu.Unlock()
+	return out
+}
+
+// invDMax returns the normalization factor 1/d_max (1 when all POIs are
+// co-located, so a degenerate geometry stays finite).
+func (h *Hausdorff) invDMax() float64 {
+	if h.Dist.DMax <= 0 {
+		return 1
+	}
+	return 1 / h.Dist.DMax
+}
+
+// UserLoss computes d_WH(S(v_i), N(v_i)) of Eq (12) for one user and, when
+// grads is non-nil, accumulates its gradient with respect to every model
+// parameter. Users without friend-visited POIs contribute zero.
+func (h *Hausdorff) UserLoss(m *Model, i int, grads *Grads) float64 {
+	friendSet := h.FriendPOIs[i]
+	if len(friendSet) == 0 {
+		return 0
+	}
+	J, K, r := m.J, m.K, m.Rank
+	// Normalized geometry: distances divided by d_max, far-POI penalty 1.
+	invDMax := h.invDMax()
+	const dMax = 1.0
+	// Guard so f_j^α is finite even when a POI coincides with a friend POI
+	// and p→1 (distance 0).
+	const fMin = 1e-4
+
+	// Step 1: visit probabilities p_j and the per-(j,k) partial products
+	// needed for ∂p_j/∂X̂[i,j,k] = Π_{k'≠k}(1−X̂[i,j,k']).
+	p := make([]float64, J)
+	// dpdx[j*K+k] holds ∂p_j/∂x̂_k (zero where the clamp saturates).
+	dpdx := make([]float64, J*K)
+	xhat := make([]float64, J*K)
+	vt := make([]float64, r)
+	prefix := make([]float64, K+1)
+	suffix := make([]float64, K+1)
+	u1row := m.U1.Row(i)
+	for j := 0; j < J; j++ {
+		u2row := m.U2.Row(j)
+		for t := 0; t < r; t++ {
+			vt[t] = m.H[t] * u1row[t] * u2row[t]
+		}
+		prefix[0] = 1
+		for k := 0; k < K; k++ {
+			x := 0.0
+			u3row := m.U3.Row(k)
+			for t := 0; t < r; t++ {
+				x += vt[t] * u3row[t]
+			}
+			xhat[j*K+k] = x
+			prefix[k+1] = prefix[k] * (1 - clamp01(x))
+		}
+		suffix[K] = 1
+		for k := K - 1; k >= 0; k-- {
+			suffix[k] = suffix[k+1] * (1 - clamp01(xhat[j*K+k]))
+		}
+		p[j] = 1 - prefix[K]
+		for k := 0; k < K; k++ {
+			x := xhat[j*K+k]
+			if x <= 0 || x >= 1-1e-9 {
+				dpdx[j*K+k] = 0 // clamp saturated: no gradient
+			} else {
+				dpdx[j*K+k] = prefix[k] * suffix[k+1]
+			}
+		}
+	}
+
+	minD := h.minDistances(i)
+	dLdp := make([]float64, J)
+
+	// Term 1: (1/(A+ε)) Σ_j p_j·e_j·minD_j.
+	var sumA, sumB float64
+	for j := 0; j < J; j++ {
+		sumA += p[j]
+		sumB += p[j] * h.entropy(j) * minD[j]
+	}
+	denom := sumA + h.Epsilon
+	loss := sumB / denom
+	if grads != nil {
+		inv2 := 1 / (denom * denom)
+		for j := 0; j < J; j++ {
+			dLdp[j] += (h.entropy(j)*minD[j]*denom - sumB) * inv2
+		}
+	}
+
+	// Term 2: (1/|N|) Σ_{j'∈N} e_{j'}·M_α over j of
+	// [p_j·d(j,j') + (1−p_j)·d_max].
+	alpha := h.Alpha
+	harmonic := alpha == -1 // the paper default; avoids math.Pow in the hot loop
+	invN := 1 / float64(len(friendSet))
+	f := make([]float64, J)
+	for _, jp := range friendSet {
+		var s float64
+		drow := h.Dist.D[jp*h.Dist.N:]
+		for j := 0; j < J; j++ {
+			fj := p[j]*drow[j]*invDMax + (1-p[j])*dMax
+			if fj < fMin {
+				fj = fMin
+			}
+			f[j] = fj
+			if harmonic {
+				s += 1 / fj
+			} else {
+				s += math.Pow(fj, alpha)
+			}
+		}
+		mean := s / float64(J)
+		var mVal float64
+		if harmonic {
+			mVal = 1 / mean
+		} else {
+			mVal = math.Pow(mean, 1/alpha)
+		}
+		w := h.entropy(jp) * invN
+		loss += w * mVal
+		if grads != nil {
+			// ∂M/∂f_j = mean^(1/α−1) · f_j^(α−1) / J.
+			var base float64
+			if harmonic {
+				base = 1 / (mean * mean * float64(J))
+			} else {
+				base = math.Pow(mean, 1/alpha-1) / float64(J)
+			}
+			for j := 0; j < J; j++ {
+				if f[j] <= fMin {
+					continue // clamped: no gradient
+				}
+				var dMdf float64
+				if harmonic {
+					dMdf = base / (f[j] * f[j])
+				} else {
+					dMdf = base * math.Pow(f[j], alpha-1)
+				}
+				dLdp[j] += w * dMdf * (drow[j]*invDMax - dMax)
+			}
+		}
+	}
+
+	// Chain rule: dL/dX̂[i,j,k] = dL/dp_j · ∂p_j/∂x̂, then into parameters.
+	if grads != nil {
+		for j := 0; j < J; j++ {
+			if dLdp[j] == 0 {
+				continue
+			}
+			for k := 0; k < K; k++ {
+				if c := dLdp[j] * dpdx[j*K+k]; c != 0 {
+					m.accumEntryGrad(grads, i, j, k, c)
+				}
+			}
+		}
+	}
+	return loss
+}
+
+// Loss computes the social Hausdorff head L1 = Σ_v d_WH (Eq 13) over the
+// given users (pass all users for the exact loss, a subsample for a
+// stochastic estimate), parallelized across CPU cores. When grads is non-nil
+// the gradient is accumulated into it.
+func (h *Hausdorff) Loss(m *Model, users []int, grads *Grads) float64 {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(users) {
+		workers = len(users)
+	}
+	if workers <= 1 {
+		var total float64
+		for _, i := range users {
+			total += h.UserLoss(m, i, grads)
+		}
+		return total
+	}
+	var wg sync.WaitGroup
+	losses := make([]float64, workers)
+	partials := make([]*Grads, workers)
+	for w := 0; w < workers; w++ {
+		var g *Grads
+		if grads != nil {
+			g = NewGrads(m)
+		}
+		partials[w] = g
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for idx := w; idx < len(users); idx += workers {
+				losses[w] += h.UserLoss(m, users[idx], partials[w])
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for w := 0; w < workers; w++ {
+		total += losses[w]
+		if grads != nil {
+			grads.Add(partials[w])
+		}
+	}
+	return total
+}

@@ -1,0 +1,167 @@
+// Package core implements TCSS, the paper's tensor-completion model for
+// time-sensitive POI recommendation with social-spatial side information.
+//
+// The model (Eq 6) scores a (user, POI, time) triple as
+//
+//	X̂[i,j,k] = hᵀ (U1[i] ⊙ U2[j] ⊙ U3[k])
+//
+// with learnable factor matrices U1 (users), U2 (POIs), U3 (time units) and a
+// dense-layer weight vector h. Training minimizes the joint loss
+// L = λ·L1 + L2 (Eq 20), where L2 is the class-weighted least-squares error
+// over the WHOLE tensor — rewritten per Eq (15) so it costs
+// O((I+J+K)·r²) instead of O(I·J·K·r) — and L1 is the social Hausdorff
+// distance head (Eq 12-13) that pulls each user's predicted POI distribution
+// toward the POIs visited by the user's friends, weighted by location
+// entropy for diversity.
+//
+// The package also implements every ablation variant of Table II: random and
+// one-hot initialization, λ = 0, negative sampling, self-Hausdorff and
+// zero-out.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tcss/internal/mat"
+)
+
+// Model holds the learned TCSS parameters. I, J and K are the tensor
+// dimensions; Rank is the embedding length r.
+type Model struct {
+	Rank    int
+	I, J, K int
+
+	U1 *mat.Matrix // I×r user factors
+	U2 *mat.Matrix // J×r POI factors
+	U3 *mat.Matrix // K×r time factors
+	H  []float64   // r dense-layer weights (Eq 6)
+
+	// ZeroOutFilter, when non-nil, marks POIs a user may be recommended
+	// (true = allowed). It implements the Zero-out ablation variant, which
+	// disregards POIs farther than a threshold from the user's own visited
+	// POIs; nil disables the filter.
+	ZeroOutFilter [][]bool
+}
+
+// NewModel allocates an untrained model of the given shape.
+func NewModel(i, j, k, rank int) *Model {
+	if rank <= 0 {
+		panic(fmt.Sprintf("core: invalid rank %d", rank))
+	}
+	return &Model{
+		Rank: rank, I: i, J: j, K: k,
+		U1: mat.New(i, rank),
+		U2: mat.New(j, rank),
+		U3: mat.New(k, rank),
+		H:  make([]float64, rank),
+	}
+}
+
+// Predict returns the raw model score X̂[i,j,k] of Eq (6).
+func (m *Model) Predict(i, j, k int) float64 {
+	a, b, c := m.U1.Row(i), m.U2.Row(j), m.U3.Row(k)
+	var s float64
+	for t := 0; t < m.Rank; t++ {
+		s += m.H[t] * a[t] * b[t] * c[t]
+	}
+	return s
+}
+
+// Score returns the score used for ranking: the raw prediction, except that
+// POIs excluded by the zero-out filter score negative infinity.
+func (m *Model) Score(i, j, k int) float64 {
+	if m.ZeroOutFilter != nil && !m.ZeroOutFilter[i][j] {
+		return math.Inf(-1)
+	}
+	return m.Predict(i, j, k)
+}
+
+// clamp01 limits v to [0, 1-eps] so the no-visit probability product in the
+// Hausdorff head stays in (0, 1]. Values outside the bounds have zero
+// gradient through the clamp.
+func clamp01(v float64) float64 {
+	const hi = 1 - 1e-9
+	if v < 0 {
+		return 0
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// VisitProbability returns p[i,j] = 1 − Π_k (1 − X̂[i,j,k]), the probability
+// that user i ever visits POI j (Eq 10), with predictions clamped to [0, 1).
+func (m *Model) VisitProbability(i, j int) float64 {
+	prod := 1.0
+	for k := 0; k < m.K; k++ {
+		prod *= 1 - clamp01(m.Predict(i, j, k))
+	}
+	return 1 - prod
+}
+
+// Recommendation is one ranked POI suggestion.
+type Recommendation struct {
+	POI   int
+	Score float64
+}
+
+// TopN returns the n highest-scoring POIs for user i at time unit k,
+// excluding the POIs in skip (typically the user's already-visited set).
+func (m *Model) TopN(i, k, n int, skip map[int]bool) []Recommendation {
+	recs := make([]Recommendation, 0, m.J)
+	for j := 0; j < m.J; j++ {
+		if skip[j] {
+			continue
+		}
+		if s := m.Score(i, j, k); !math.IsInf(s, -1) {
+			recs = append(recs, Recommendation{POI: j, Score: s})
+		}
+	}
+	sort.Slice(recs, func(a, b int) bool {
+		if recs[a].Score != recs[b].Score {
+			return recs[a].Score > recs[b].Score
+		}
+		return recs[a].POI < recs[b].POI
+	})
+	if n < len(recs) {
+		recs = recs[:n]
+	}
+	return recs
+}
+
+// TimeScores returns the score of (i, j, ·) across every time unit, the
+// series plotted in Figure 13.
+func (m *Model) TimeScores(i, j int) []float64 {
+	out := make([]float64, m.K)
+	for k := 0; k < m.K; k++ {
+		out[k] = m.Predict(i, j, k)
+	}
+	return out
+}
+
+// TimeFactorSimilarity returns the K×K cosine-similarity matrix between time
+// factor rows of U3, the heatmap of Figures 6 and 7.
+func (m *Model) TimeFactorSimilarity() *mat.Matrix {
+	sim := mat.New(m.K, m.K)
+	for a := 0; a < m.K; a++ {
+		for b := 0; b < m.K; b++ {
+			sim.Set(a, b, mat.CosineSimilarity(m.U3.Row(a), m.U3.Row(b)))
+		}
+	}
+	return sim
+}
+
+// Clone returns a deep copy of the model (the zero-out filter is shared,
+// since it is immutable once built).
+func (m *Model) Clone() *Model {
+	out := NewModel(m.I, m.J, m.K, m.Rank)
+	out.U1 = m.U1.Clone()
+	out.U2 = m.U2.Clone()
+	out.U3 = m.U3.Clone()
+	copy(out.H, m.H)
+	out.ZeroOutFilter = m.ZeroOutFilter
+	return out
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tcss/internal/opt"
+	"tcss/internal/tensor"
+)
+
+// OnlineConfig controls incremental updates of an already-trained model when
+// new check-ins arrive, without retraining from scratch. Only the rows of
+// the affected users and POIs (and the shared time factors and h) receive
+// gradient updates, so an update is cheap even on large models.
+type OnlineConfig struct {
+	Epochs     int     // update passes over the combined objective
+	LR         float64 // Adam learning rate for the update
+	WPos, WNeg float64 // class weights, as in training
+	Lambda     float64 // social head weight; 0 skips the head
+	NegPerNew  float64 // sampled negatives per new check-in for contrast
+	Seed       int64
+}
+
+// DefaultOnlineConfig returns update hyperparameters matched to
+// DefaultConfig's training regime.
+func DefaultOnlineConfig() OnlineConfig {
+	return OnlineConfig{Epochs: 15, LR: 0.02, WPos: 0.99, WNeg: 0.01, Lambda: 0, NegPerNew: 8}
+}
+
+// UpdateOnline folds new observed entries into the model: the entries are
+// added to the training tensor, and the affected user rows are refined
+// against (a) the new positives, (b) sampled negatives for contrast, and
+// (c) the social Hausdorff head restricted to the affected users when side
+// information is given. The tensor x is modified in place (the new entries
+// are inserted); the returned count is the number of genuinely new cells.
+func (m *Model) UpdateOnline(x *tensor.COO, newEntries []tensor.Entry, side *SideInfo, cfg OnlineConfig) (int, error) {
+	if cfg.Epochs <= 0 || cfg.LR <= 0 {
+		return 0, fmt.Errorf("core: online update needs positive epochs and LR, got %d/%g", cfg.Epochs, cfg.LR)
+	}
+	var fresh []tensor.Entry
+	affected := make(map[int]struct{})
+	for _, e := range newEntries {
+		if e.I < 0 || e.I >= m.I || e.J < 0 || e.J >= m.J || e.K < 0 || e.K >= m.K {
+			return 0, fmt.Errorf("core: online entry (%d,%d,%d) out of model range", e.I, e.J, e.K)
+		}
+		if !x.Has(e.I, e.J, e.K) {
+			x.Set(e.I, e.J, e.K, 1)
+			fresh = append(fresh, tensor.Entry{I: e.I, J: e.J, K: e.K, Val: 1})
+		}
+		affected[e.I] = struct{}{}
+	}
+	if len(fresh) == 0 {
+		return 0, nil
+	}
+
+	var head *Hausdorff
+	if side != nil && cfg.Lambda > 0 {
+		// Rebuild friend sets only for the affected users? The side info
+		// passed in already reflects the updated training data if the
+		// caller rebuilt it; we use it as-is to keep the update cheap.
+		head = NewHausdorff(side.Dist, side.EntropyW, side.FriendPOIs)
+	}
+	users := make([]int, 0, len(affected))
+	for u := range affected {
+		users = append(users, u)
+	}
+	sort.Ints(users)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	optim := opt.NewAdam(cfg.LR, 0)
+	grads := NewGrads(m)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		grads.Zero()
+		// New positives pulled toward 1.
+		for _, e := range fresh {
+			pred := m.Predict(e.I, e.J, e.K)
+			m.accumEntryGrad(grads, e.I, e.J, e.K, 2*cfg.WPos*(pred-e.Val))
+		}
+		// Sampled negatives keep the update from inflating everything.
+		n := int(cfg.NegPerNew * float64(len(fresh)))
+		for _, e := range SampleNegatives(x, n, rng) {
+			pred := m.Predict(e.I, e.J, e.K)
+			m.accumEntryGrad(grads, e.I, e.J, e.K, 2*cfg.WNeg*pred)
+		}
+		if head != nil {
+			headGrads := NewGrads(m)
+			head.Loss(m, users, headGrads)
+			grads.DU1.AddInPlace(headGrads.DU1.Scale(cfg.Lambda))
+			grads.DU2.AddInPlace(headGrads.DU2.Scale(cfg.Lambda))
+			grads.DU3.AddInPlace(headGrads.DU3.Scale(cfg.Lambda))
+			for t := range grads.DH {
+				grads.DH[t] += cfg.Lambda * headGrads.DH[t]
+			}
+		}
+		optim.Step("U1", m.U1.Data, grads.DU1.Data)
+		optim.Step("U2", m.U2.Data, grads.DU2.Data)
+		optim.Step("U3", m.U3.Data, grads.DU3.Data)
+		optim.Step("h", m.H, grads.DH)
+	}
+	return len(fresh), nil
+}

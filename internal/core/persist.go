@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"tcss/internal/mat"
+)
+
+// modelFile is the on-disk JSON representation of a trained model. The
+// zero-out filter is stored as packed rows to keep files compact.
+type modelFile struct {
+	Version int       `json:"version"`
+	Rank    int       `json:"rank"`
+	I       int       `json:"i"`
+	J       int       `json:"j"`
+	K       int       `json:"k"`
+	U1      []float64 `json:"u1"`
+	U2      []float64 `json:"u2"`
+	U3      []float64 `json:"u3"`
+	H       []float64 `json:"h"`
+	ZeroOut [][]bool  `json:"zero_out,omitempty"`
+}
+
+// currentModelVersion is bumped whenever the serialized layout changes.
+const currentModelVersion = 1
+
+// Save writes the model as JSON to w.
+func (m *Model) Save(w io.Writer) error {
+	mf := modelFile{
+		Version: currentModelVersion,
+		Rank:    m.Rank, I: m.I, J: m.J, K: m.K,
+		U1: m.U1.Data, U2: m.U2.Data, U3: m.U3.Data, H: m.H,
+		ZeroOut: m.ZeroOutFilter,
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&mf); err != nil {
+		return fmt.Errorf("core: encoding model: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the model to a file, creating or truncating it.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: creating %s: %w", path, err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := m.Save(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: flushing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var mf modelFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if mf.Version != currentModelVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d (want %d)", mf.Version, currentModelVersion)
+	}
+	if mf.Rank <= 0 || mf.I <= 0 || mf.J <= 0 || mf.K <= 0 {
+		return nil, fmt.Errorf("core: model file has invalid shape %dx%dx%d rank %d", mf.I, mf.J, mf.K, mf.Rank)
+	}
+	if len(mf.U1) != mf.I*mf.Rank || len(mf.U2) != mf.J*mf.Rank ||
+		len(mf.U3) != mf.K*mf.Rank || len(mf.H) != mf.Rank {
+		return nil, fmt.Errorf("core: model file factor lengths inconsistent with shape")
+	}
+	if mf.ZeroOut != nil {
+		if len(mf.ZeroOut) != mf.I {
+			return nil, fmt.Errorf("core: zero-out filter covers %d users, want %d", len(mf.ZeroOut), mf.I)
+		}
+		for i, row := range mf.ZeroOut {
+			if len(row) != mf.J {
+				return nil, fmt.Errorf("core: zero-out row %d covers %d POIs, want %d", i, len(row), mf.J)
+			}
+		}
+	}
+	m := &Model{
+		Rank: mf.Rank, I: mf.I, J: mf.J, K: mf.K,
+		U1:            mat.FromSlice(mf.I, mf.Rank, mf.U1),
+		U2:            mat.FromSlice(mf.J, mf.Rank, mf.U2),
+		U3:            mat.FromSlice(mf.K, mf.Rank, mf.U3),
+		H:             mf.H,
+		ZeroOutFilter: mf.ZeroOut,
+	}
+	return m, nil
+}
+
+// LoadFile reads a model from a file written by SaveFile.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomModel(5, 6, 3, 4, rng)
+	m.ZeroOutFilter = make([][]bool, 5)
+	for i := range m.ZeroOutFilter {
+		m.ZeroOutFilter[i] = make([]bool, 6)
+		m.ZeroOutFilter[i][i%6] = true
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rank != m.Rank || back.I != m.I || back.J != m.J || back.K != m.K {
+		t.Fatal("shape lost in round trip")
+	}
+	for i := 0; i < m.I; i++ {
+		for j := 0; j < m.J; j++ {
+			for k := 0; k < m.K; k++ {
+				if back.Predict(i, j, k) != m.Predict(i, j, k) {
+					t.Fatal("predictions differ after round trip")
+				}
+				if back.Score(i, j, k) != m.Score(i, j, k) {
+					t.Fatal("zero-out filter lost in round trip")
+				}
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomModel(3, 3, 2, 2, rng)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Predict(1, 2, 1) != m.Predict(1, 2, 1) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestLoadRejectsCorruptModels(t *testing.T) {
+	cases := map[string]string{
+		"garbage":         "not json",
+		"bad version":     `{"version":99,"rank":1,"i":1,"j":1,"k":1,"u1":[0],"u2":[0],"u3":[0],"h":[0]}`,
+		"bad shape":       `{"version":1,"rank":0,"i":1,"j":1,"k":1,"u1":[],"u2":[],"u3":[],"h":[]}`,
+		"length mismatch": `{"version":1,"rank":2,"i":2,"j":1,"k":1,"u1":[0],"u2":[0,0],"u3":[0,0],"h":[0,0]}`,
+		"bad filter":      `{"version":1,"rank":1,"i":2,"j":1,"k":1,"u1":[0,0],"u2":[0],"u3":[0],"h":[0],"zero_out":[[true]]}`,
+	}
+	for name, payload := range cases {
+		if _, err := Load(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: Load must reject", name)
+		}
+	}
+}

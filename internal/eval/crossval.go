@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tcss/internal/tensor"
+)
+
+// Fold is one train/test partition of a cross-validation.
+type Fold struct {
+	Train *tensor.COO
+	Test  []tensor.Entry
+}
+
+// KFold partitions the observed entries of x into k folds and returns, for
+// each fold, a training tensor holding the other k−1 folds and the held-out
+// entries. Entries are shuffled with rng first; every observed entry appears
+// in exactly one test set.
+func KFold(x *tensor.COO, k int, rng *rand.Rand) ([]Fold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("eval: KFold needs k >= 2, got %d", k)
+	}
+	entries := x.Entries()
+	if len(entries) < k {
+		return nil, fmt.Errorf("eval: KFold with %d folds needs at least %d entries, have %d", k, k, len(entries))
+	}
+	perm := rng.Perm(len(entries))
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		lo := f * len(entries) / k
+		hi := (f + 1) * len(entries) / k
+		train := tensor.NewCOO(x.DimI, x.DimJ, x.DimK)
+		var test []tensor.Entry
+		for pos, idx := range perm {
+			e := entries[idx]
+			if pos >= lo && pos < hi {
+				test = append(test, e)
+			} else {
+				train.Set(e.I, e.J, e.K, e.Val)
+			}
+		}
+		folds[f] = Fold{Train: train, Test: test}
+	}
+	return folds, nil
+}
+
+// CVSummary aggregates per-fold results into mean and standard deviation.
+type CVSummary struct {
+	MeanHit, StdHit float64
+	MeanMRR, StdMRR float64
+	Folds           []Result
+}
+
+// String renders the summary.
+func (s CVSummary) String() string {
+	return fmt.Sprintf("Hit@K=%.4f±%.4f MRR=%.4f±%.4f (%d folds)",
+		s.MeanHit, s.StdHit, s.MeanMRR, s.StdMRR, len(s.Folds))
+}
+
+// CrossValidate runs the ranking protocol over every fold with a
+// caller-supplied trainer (which receives the fold's training tensor and
+// returns a scorer), and aggregates the metrics. This is the standard way to
+// report variance alongside the paper's single-split numbers.
+func CrossValidate(x *tensor.COO, k int, cfg Config, rng *rand.Rand,
+	train func(fold *tensor.COO) (Scorer, error)) (CVSummary, error) {
+	folds, err := KFold(x, k, rng)
+	if err != nil {
+		return CVSummary{}, err
+	}
+	var s CVSummary
+	for _, fold := range folds {
+		scorer, err := train(fold.Train)
+		if err != nil {
+			return CVSummary{}, fmt.Errorf("eval: training fold: %w", err)
+		}
+		s.Folds = append(s.Folds, Rank(scorer, fold.Test, x.DimJ, cfg))
+	}
+	var sumH, sumM float64
+	for _, r := range s.Folds {
+		sumH += r.HitAtK
+		sumM += r.MRR
+	}
+	n := float64(len(s.Folds))
+	s.MeanHit, s.MeanMRR = sumH/n, sumM/n
+	var varH, varM float64
+	for _, r := range s.Folds {
+		varH += (r.HitAtK - s.MeanHit) * (r.HitAtK - s.MeanHit)
+		varM += (r.MRR - s.MeanMRR) * (r.MRR - s.MeanMRR)
+	}
+	s.StdHit, s.StdMRR = math.Sqrt(varH/n), math.Sqrt(varM/n)
+	return s, nil
+}

@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tcss/internal/tensor"
+)
+
+func cvTensor(n int, rng *rand.Rand) *tensor.COO {
+	x := tensor.NewCOO(8, 10, 3)
+	for len(x.Entries()) < n {
+		x.Set(rng.Intn(8), rng.Intn(10), rng.Intn(3), 1)
+	}
+	return x
+}
+
+func TestKFoldPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := cvTensor(40, rng)
+	folds, err := KFold(x, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 4 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	// Every entry appears in exactly one test set; train+test = all.
+	seen := map[[3]int]int{}
+	for _, f := range folds {
+		if f.Train.NNZ()+len(f.Test) != x.NNZ() {
+			t.Fatal("fold is not a partition")
+		}
+		for _, e := range f.Test {
+			seen[[3]int{e.I, e.J, e.K}]++
+			if f.Train.Has(e.I, e.J, e.K) {
+				t.Fatal("test entry leaked into fold train")
+			}
+		}
+	}
+	if len(seen) != x.NNZ() {
+		t.Fatalf("test sets cover %d entries, want %d", len(seen), x.NNZ())
+	}
+	for key, c := range seen {
+		if c != 1 {
+			t.Fatalf("entry %v appears in %d test sets", key, c)
+		}
+	}
+}
+
+func TestKFoldValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := cvTensor(10, rng)
+	if _, err := KFold(x, 1, rng); err == nil {
+		t.Fatal("k=1 must error")
+	}
+	small := tensor.NewCOO(2, 2, 2)
+	small.Set(0, 0, 0, 1)
+	if _, err := KFold(small, 3, rng); err == nil {
+		t.Fatal("too few entries must error")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := cvTensor(60, rng)
+	// Oracle trainer: memorizes the fold's training entries and scores any
+	// cell it has seen; held-out entries get moderate scores via user
+	// frequency, so metrics land strictly between 0 and 1.
+	trainer := func(fold *tensor.COO) (Scorer, error) {
+		return ScorerFunc(func(i, j, k int) float64 {
+			if fold.Has(i, j, k) {
+				return 1
+			}
+			return float64((i*7+j*3+k)%13) / 13
+		}), nil
+	}
+	sum, err := CrossValidate(x, 3, Config{Negatives: 9, TopK: 3, Seed: 5}, rng, trainer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Folds) != 3 {
+		t.Fatalf("got %d fold results", len(sum.Folds))
+	}
+	if sum.MeanHit < 0 || sum.MeanHit > 1 || sum.StdHit < 0 {
+		t.Fatalf("bad summary %+v", sum)
+	}
+	if sum.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestCrossValidatePropagatesTrainerError(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := cvTensor(20, rng)
+	_, err := CrossValidate(x, 2, DefaultConfig(), rng,
+		func(*tensor.COO) (Scorer, error) { return nil, fmt.Errorf("boom") })
+	if err == nil {
+		t.Fatal("trainer error must propagate")
+	}
+}

@@ -1,0 +1,183 @@
+// Package eval implements the paper's evaluation protocol (§V-C): for every
+// held-out interaction (i, j, k), sample 100 random other POIs, score all 101
+// candidates, and measure whether the true POI ranks in the top 10 (Hit@10)
+// and its reciprocal rank (MRR). MRR is averaged per user first and then
+// across users, as the paper specifies. The package also provides plain RMSE
+// and a Scorer interface every model in the repository implements.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"tcss/internal/tensor"
+)
+
+// Scorer scores a (user, POI, time) triple; higher means more recommended.
+// Matrix-completion baselines ignore k.
+type Scorer interface {
+	Score(i, j, k int) float64
+}
+
+// ScorerFunc adapts a plain function to the Scorer interface.
+type ScorerFunc func(i, j, k int) float64
+
+// Score implements Scorer.
+func (f ScorerFunc) Score(i, j, k int) float64 { return f(i, j, k) }
+
+// Config controls the ranking protocol.
+type Config struct {
+	// Negatives is the number of random non-target POIs ranked against each
+	// test entry; the paper uses 100.
+	Negatives int
+	// TopK is the Hit@K cutoff; the paper reports Hit@10.
+	TopK int
+	// Seed drives the negative sampling, making evaluations repeatable and
+	// comparable across models.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's protocol: 100 negatives, Hit@10.
+func DefaultConfig() Config { return Config{Negatives: 100, TopK: 10, Seed: 1} }
+
+// Result holds the two headline metrics.
+type Result struct {
+	HitAtK float64
+	MRR    float64
+}
+
+// String renders a result row.
+func (r Result) String() string { return fmt.Sprintf("Hit@K=%.4f MRR=%.4f", r.HitAtK, r.MRR) }
+
+// Rank evaluates the scorer on the held-out entries of a tensor with
+// dimensions (dimJ POIs needed for negative sampling). For each test entry it
+// draws cfg.Negatives distinct random POIs different from the target, scores
+// the 101 candidates at the entry's (i, k), and computes the rank of the
+// target (1 = best; ties broken pessimistically so a constant scorer gets no
+// credit).
+func Rank(s Scorer, test []tensor.Entry, dimJ int, cfg Config) Result {
+	if cfg.Negatives <= 0 || cfg.TopK <= 0 {
+		panic(fmt.Sprintf("eval: invalid config %+v", cfg))
+	}
+	if len(test) == 0 {
+		return Result{}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var hits int
+	// Per-user reciprocal-rank accumulation (paper: average per user along
+	// time, then across users).
+	userRR := make(map[int]*meanAcc)
+
+	for _, e := range test {
+		target := s.Score(e.I, e.J, e.K)
+		// Rank = 1 + #candidates scoring >= target (pessimistic on ties).
+		rank := 1
+		seen := make(map[int]bool, cfg.Negatives)
+		drawn := 0
+		for drawn < cfg.Negatives {
+			j := rng.Intn(dimJ)
+			if j == e.J || seen[j] {
+				// With fewer POIs than requested negatives, fall back to
+				// allowing duplicates after exhausting the candidate pool.
+				if len(seen) >= dimJ-1 {
+					break
+				}
+				continue
+			}
+			seen[j] = true
+			drawn++
+			if s.Score(e.I, j, e.K) >= target {
+				rank++
+			}
+		}
+		if rank <= cfg.TopK {
+			hits++
+		}
+		acc := userRR[e.I]
+		if acc == nil {
+			acc = &meanAcc{}
+			userRR[e.I] = acc
+		}
+		acc.add(1 / float64(rank))
+	}
+
+	// Iterate users in sorted order so the floating-point sum (and thus the
+	// reported MRR) is bit-for-bit deterministic.
+	users := make([]int, 0, len(userRR))
+	for u := range userRR {
+		users = append(users, u)
+	}
+	sort.Ints(users)
+	var mrr meanAcc
+	for _, u := range users {
+		mrr.add(userRR[u].mean())
+	}
+	return Result{
+		HitAtK: float64(hits) / float64(len(test)),
+		MRR:    mrr.mean(),
+	}
+}
+
+type meanAcc struct {
+	sum float64
+	n   int
+}
+
+func (a *meanAcc) add(v float64) { a.sum += v; a.n++ }
+func (a *meanAcc) mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// RMSE returns the root-mean-squared error of the scorer against the test
+// entries' values.
+func RMSE(s Scorer, test []tensor.Entry) float64 {
+	if len(test) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range test {
+		d := s.Score(e.I, e.J, e.K) - e.Val
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(test)))
+}
+
+// TopNOverlap reports |topA ∩ topB| / n for two ranked POI lists, a utility
+// for the diversity analyses.
+func TopNOverlap(a, b []int) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	set := make(map[int]bool, len(a))
+	for _, j := range a {
+		set[j] = true
+	}
+	var c int
+	for _, j := range b {
+		if set[j] {
+			c++
+		}
+	}
+	return float64(c) / float64(len(a))
+}
+
+// RankAll returns the POIs 0..dimJ-1 sorted by descending score for user i at
+// time k, a helper for case studies.
+func RankAll(s Scorer, i, k, dimJ int) []int {
+	idx := make([]int, dimJ)
+	for j := range idx {
+		idx[j] = j
+	}
+	scores := make([]float64, dimJ)
+	for j := range scores {
+		scores[j] = s.Score(i, j, k)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	return idx
+}

@@ -1,0 +1,111 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"tcss/internal/tensor"
+)
+
+func TestRankExtendedPerfectScorer(t *testing.T) {
+	truth := map[[3]int]bool{{0, 5, 0}: true, {1, 9, 1}: true}
+	s := ScorerFunc(func(i, j, k int) float64 {
+		if truth[[3]int{i, j, k}] {
+			return 1
+		}
+		return 0
+	})
+	test := []tensor.Entry{{I: 0, J: 5, K: 0, Val: 1}, {I: 1, J: 9, K: 1, Val: 1}}
+	res := RankExtended(s, test, 300, DefaultConfig())
+	if res.HitAtK != 1 || res.MRR != 1 || math.Abs(res.NDCGAtK-1) > 1e-12 {
+		t.Fatalf("perfect scorer extended = %+v", res)
+	}
+}
+
+func TestRankExtendedNDCGRankTwo(t *testing.T) {
+	// One candidate always beats the target: rank 2 → NDCG = 1/log2(3).
+	s := ScorerFunc(func(i, j, k int) float64 {
+		if j == 0 {
+			return 2 // the always-better negative
+		}
+		if j == 5 {
+			return 1 // the target
+		}
+		return 0
+	})
+	test := []tensor.Entry{{I: 0, J: 5, K: 0, Val: 1}}
+	// Use a small POI pool so negative 0 is always drawn.
+	res := RankExtended(s, test, 3, Config{Negatives: 100, TopK: 10, Seed: 1})
+	want := 1 / math.Log2(3)
+	if math.Abs(res.NDCGAtK-want) > 1e-12 {
+		t.Fatalf("NDCG = %g, want %g", res.NDCGAtK, want)
+	}
+}
+
+func TestRankExtendedEmpty(t *testing.T) {
+	res := RankExtended(ScorerFunc(func(i, j, k int) float64 { return 0 }), nil, 5, DefaultConfig())
+	if res != (Extended{}) {
+		t.Fatalf("empty test must give zero extended metrics, got %+v", res)
+	}
+}
+
+func TestRankExtendedConsistentWithRank(t *testing.T) {
+	s := ScorerFunc(func(i, j, k int) float64 { return float64((i*13 + j*7 + k) % 31) })
+	var test []tensor.Entry
+	for n := 0; n < 25; n++ {
+		test = append(test, tensor.Entry{I: n % 4, J: (n * 11) % 90, K: n % 3, Val: 1})
+	}
+	cfg := DefaultConfig()
+	plain := Rank(s, test, 90, cfg)
+	ext := RankExtended(s, test, 90, cfg)
+	// MRR sums per-user means in map-iteration order, so the two paths may
+	// differ in the last floating-point bits.
+	if plain.HitAtK != ext.HitAtK || math.Abs(plain.MRR-ext.MRR) > 1e-12 {
+		t.Fatalf("extended metrics must agree with Rank: %+v vs %+v", plain, ext)
+	}
+}
+
+func TestTopNMetrics(t *testing.T) {
+	// User 0 at time 0 has relevant POIs {1, 2}; the scorer ranks 1, 2, 0
+	// on top. Top-2 precision = 1, recall = 1.
+	s := ScorerFunc(func(i, j, k int) float64 {
+		switch j {
+		case 1:
+			return 3
+		case 2:
+			return 2
+		}
+		return -float64(j)
+	})
+	test := []tensor.Entry{
+		{I: 0, J: 1, K: 0, Val: 1},
+		{I: 0, J: 2, K: 0, Val: 1},
+	}
+	p, r := TopNMetrics(s, test, 10, 2, nil)
+	if p != 1 || r != 1 {
+		t.Fatalf("P@2=%g R@2=%g, want 1, 1", p, r)
+	}
+	// Top-4: precision = 2/4, recall = 1.
+	p, r = TopNMetrics(s, test, 10, 4, nil)
+	if p != 0.5 || r != 1 {
+		t.Fatalf("P@4=%g R@4=%g, want 0.5, 1", p, r)
+	}
+}
+
+func TestTopNMetricsSkip(t *testing.T) {
+	// Skipping the top-scored POI 1 promotes POI 2.
+	s := ScorerFunc(func(i, j, k int) float64 { return -float64(j) })
+	test := []tensor.Entry{{I: 0, J: 2, K: 0, Val: 1}}
+	skip := func(user, poi int) bool { return poi == 0 || poi == 1 }
+	p, r := TopNMetrics(s, test, 5, 1, skip)
+	if p != 1 || r != 1 {
+		t.Fatalf("skip-filtered P@1=%g R@1=%g, want 1, 1", p, r)
+	}
+}
+
+func TestTopNMetricsEmpty(t *testing.T) {
+	p, r := TopNMetrics(ScorerFunc(func(i, j, k int) float64 { return 0 }), nil, 5, 3, nil)
+	if p != 0 || r != 0 {
+		t.Fatal("empty test must give zeros")
+	}
+}

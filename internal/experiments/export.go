@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteCSV saves the table as a CSV file (header first) so results can be
+// post-processed or plotted outside Go.
+func (t *Table) WriteCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: creating %s: %w", path, err)
+	}
+	w := csv.NewWriter(f)
+	rows := append([][]string{t.Header}, t.Rows...)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return fmt.Errorf("experiments: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("experiments: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// SlugTitle returns a filesystem-friendly slug of the table title, used to
+// derive CSV filenames.
+func (t *Table) SlugTitle() string {
+	slug := strings.ToLower(t.Title)
+	var b strings.Builder
+	dash := false
+	for _, r := range slug {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			dash = false
+		default:
+			if !dash && b.Len() > 0 {
+				b.WriteByte('-')
+				dash = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}
+
+// ExportDir writes the table as <dir>/<slug>.csv, creating dir if needed,
+// and returns the file path.
+func (t *Table) ExportDir(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("experiments: creating %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, t.SlugTitle()+".csv")
+	return path, t.WriteCSV(path)
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tcss/internal/baselines"
+	"tcss/internal/core"
+)
+
+// TableI reproduces the paper's Table I: Hit@10 and MRR of every baseline
+// and TCSS on the four datasets. Rows follow the paper's order (matrix
+// completion, POI recommendation, tensor completion, TCSS last).
+func TableI(opts Options) (*Table, error) {
+	insts, err := AllPresets(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Title: "Table I: Results Comparison"}
+	t.Header = []string{"Model"}
+	for _, inst := range insts {
+		t.Header = append(t.Header, inst.Name+" Hit@10", inst.Name+" MRR")
+	}
+
+	for _, proto := range baselines.Registry() {
+		row := []string{proto.Name()}
+		for _, inst := range insts {
+			// A fresh model per dataset: Fit is not required to be
+			// re-entrant across datasets.
+			m, err := baselines.Lookup(proto.Name())
+			if err != nil {
+				return nil, err
+			}
+			res, err := EvaluateBaseline(m, inst, opts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f4(res.HitAtK), f4(res.MRR))
+		}
+		t.AddRow(row...)
+	}
+
+	row := []string{"TCSS"}
+	for _, inst := range insts {
+		res, _, err := EvaluateTCSS(inst, TCSSConfig(opts))
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, f4(res.HitAtK), f4(res.MRR))
+	}
+	t.AddRow(row...)
+	return t, nil
+}
+
+// ablationVariants lists the Table II rows in paper order.
+func ablationVariants(opts Options) []struct {
+	name   string
+	mutate func(*core.Config)
+} {
+	return []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"Random initialization", func(c *core.Config) { c.Init = core.RandomInit }},
+		{"One-hot initialization", func(c *core.Config) { c.Init = core.OneHotInit }},
+		{"Remove L1 (lambda=0)", func(c *core.Config) { c.Variant = core.NoHausdorff; c.Lambda = 0 }},
+		{"Negative sampling", func(c *core.Config) { c.NegSampling = true }},
+		{"Self-Hausdorff", func(c *core.Config) { c.Variant = core.SelfHausdorff }},
+		{"Zero-out", func(c *core.Config) { c.Variant = core.ZeroOut; c.Lambda = 0 }},
+		{"Full-Fledged TCSS", func(c *core.Config) {}},
+	}
+}
+
+// TableII reproduces the ablation study: each TCSS variant on every dataset.
+func TableII(opts Options) (*Table, error) {
+	insts, err := AllPresets(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Title: "Table II: Ablation Study"}
+	t.Header = []string{"Model Variant"}
+	for _, inst := range insts {
+		t.Header = append(t.Header, inst.Name+" Hit@10", inst.Name+" MRR")
+	}
+	for _, variant := range ablationVariants(opts) {
+		row := []string{variant.name}
+		for _, inst := range insts {
+			cfg := TCSSConfig(opts)
+			variant.mutate(&cfg)
+			res, _, err := EvaluateTCSS(inst, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f4(res.HitAtK), f4(res.MRR))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// TableIII reproduces the (w₊, w₋) sweep on Gowalla: RMSE on positive and
+// negative entries, Hit@10 and MRR for the five weight pairs of the paper.
+func TableIII(opts Options) (*Table, error) {
+	inst, err := LoadPreset("gowalla", opts)
+	if err != nil {
+		return nil, err
+	}
+	pairs := [][2]float64{
+		{0.9, 0.1}, {0.95, 0.05}, {0.99, 0.01}, {0.995, 0.005}, {0.999, 0.001},
+	}
+	t := &Table{
+		Title:  "Table III: Performance with different (w+, w-)",
+		Header: []string{"(w+, w-)", "RMSE positive", "RMSE negative", "Hit@10", "MRR"},
+	}
+	for _, p := range pairs {
+		cfg := TCSSConfig(opts)
+		cfg.WPos, cfg.WNeg = p[0], p[1]
+		res, m, err := EvaluateTCSS(inst, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(opts.Seed))
+		t.AddRow(
+			fmt.Sprintf("(%g, %g)", p[0], p[1]),
+			f4(m.PositiveRMSE(inst.Train)),
+			f4(m.NegativeRMSE(inst.Train, 5000, rng)),
+			f4(res.HitAtK), f4(res.MRR),
+		)
+	}
+	return t, nil
+}
+
+// LossTiming measures one full loss+gradient evaluation for the three
+// training strategies of Table IV on one instance.
+type LossTiming struct {
+	Dataset   string
+	Naive     time.Duration
+	NegSample time.Duration
+	Rewritten time.Duration
+}
+
+// MeasureLossTimings times the three L2 strategies on a trained-shape model.
+func MeasureLossTimings(inst *Instance, rank int, seed int64) LossTiming {
+	rng := rand.New(rand.NewSource(seed))
+	m := core.NewModel(inst.Train.DimI, inst.Train.DimJ, inst.Train.DimK, rank)
+	if err := m.Initialize(core.RandomInit, inst.Train, rng); err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	grads := core.NewGrads(m)
+
+	start := time.Now()
+	m.NaiveWholeDataLoss(inst.Train, 0.99, 0.01, grads)
+	naive := time.Since(start)
+
+	grads.Zero()
+	start = time.Now()
+	negs := core.SampleNegatives(inst.Train, inst.Train.NNZ(), rng)
+	m.NegSamplingLoss(inst.Train, negs, 0.99, 0.01, grads)
+	negSample := time.Since(start)
+
+	grads.Zero()
+	start = time.Now()
+	m.WholeDataLoss(inst.Train, 0.99, 0.01, grads)
+	rewritten := time.Since(start)
+
+	return LossTiming{Dataset: inst.Name, Naive: naive, NegSample: negSample, Rewritten: rewritten}
+}
+
+// TableIV reproduces the per-epoch training-time comparison between the
+// naive whole-data loss (Eq 14), negative sampling, and the rewritten loss
+// (Eq 15) on Gowalla, Yelp and Foursquare.
+func TableIV(opts Options) (*Table, error) {
+	t := &Table{
+		Title:  "Table IV: Training Time (one epoch of the L2 head)",
+		Header: []string{"Method", "Gowalla", "Yelp", "Foursquare"},
+	}
+	var timings []LossTiming
+	for _, name := range []string{"gowalla", "yelp", "foursquare"} {
+		inst, err := LoadPreset(name, opts)
+		if err != nil {
+			return nil, err
+		}
+		timings = append(timings, MeasureLossTimings(inst, 10, opts.Seed))
+	}
+	rows := []struct {
+		label string
+		pick  func(LossTiming) time.Duration
+	}{
+		{"Original Loss: Eq (14)", func(lt LossTiming) time.Duration { return lt.Naive }},
+		{"Negative Sampling", func(lt LossTiming) time.Duration { return lt.NegSample }},
+		{"Rewritten Loss: Eq (15)", func(lt LossTiming) time.Duration { return lt.Rewritten }},
+	}
+	for _, r := range rows {
+		row := []string{r.label}
+		for _, lt := range timings {
+			row = append(row, r.pick(lt).String())
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ErdosRenyi returns a G(n, p) random graph: each of the n·(n-1)/2 possible
+// edges is present independently with probability p.
+func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: ErdosRenyi p=%g out of [0,1]", p))
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice where every
+// vertex connects to its k nearest neighbours (k must be even and < n), with
+// each lattice edge rewired to a random endpoint with probability beta.
+// Social networks in LBSNs exhibit exactly this high-clustering,
+// short-path-length structure, so the LBSN simulator defaults to it.
+func WattsStrogatz(n, k int, beta float64, rng *rand.Rand) *Graph {
+	if k%2 != 0 || k <= 0 || k >= n {
+		panic(fmt.Sprintf("graph: WattsStrogatz k=%d must be even and in (0,%d)", k, n))
+	}
+	if beta < 0 || beta > 1 {
+		panic(fmt.Sprintf("graph: WattsStrogatz beta=%g out of [0,1]", beta))
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for step := 1; step <= k/2; step++ {
+			g.AddEdge(u, (u+step)%n)
+		}
+	}
+	// Rewire each original lattice edge (u, u+step) with probability beta.
+	for u := 0; u < n; u++ {
+		for step := 1; step <= k/2; step++ {
+			v := (u + step) % n
+			if rng.Float64() >= beta {
+				continue
+			}
+			if g.Degree(u) >= n-1 {
+				continue // u already connected to everyone
+			}
+			w := rng.Intn(n)
+			for w == u || g.HasEdge(u, w) {
+				w = rng.Intn(n)
+			}
+			g.RemoveEdge(u, v)
+			g.AddEdge(u, w)
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: starting from a
+// clique on m+1 vertices, each new vertex attaches m edges to existing
+// vertices with probability proportional to their degree. It produces the
+// heavy-tailed degree distributions seen in large follower networks.
+func BarabasiAlbert(n, m int, rng *rand.Rand) *Graph {
+	if m <= 0 || m >= n {
+		panic(fmt.Sprintf("graph: BarabasiAlbert m=%d must be in (0,%d)", m, n))
+	}
+	g := New(n)
+	// Repeated-endpoint list: picking uniformly from it is degree-biased.
+	var endpoints []int
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			g.AddEdge(u, v)
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	for u := m + 1; u < n; u++ {
+		chosen := make(map[int]struct{}, m)
+		for len(chosen) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			if t != u {
+				chosen[t] = struct{}{}
+			}
+		}
+		for v := range chosen {
+			g.AddEdge(u, v)
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	return g
+}
+
+// HomophilousFriendship wires a friendship graph where the probability of an
+// edge between u and v decays with the distance between their home positions:
+// p(u,v) = pNear if affinity(u,v) < threshold, else pFar. affinity is any
+// symmetric dissimilarity (the LBSN simulator passes home-location distance),
+// which plants the friends-live-and-check-in-nearby structure the social
+// Hausdorff loss exploits.
+func HomophilousFriendship(n int, affinity func(u, v int) float64, threshold, pNear, pFar float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pFar
+			if affinity(u, v) < threshold {
+				p = pNear
+			}
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// EnsureMinDegree adds random edges until every vertex has at least minDeg
+// neighbours, mirroring the paper's preprocessing step of keeping only users
+// with at least one friend (instead of dropping users we connect them, which
+// keeps tensor indices dense).
+func EnsureMinDegree(g *Graph, minDeg int, rng *rand.Rand) {
+	n := g.N()
+	if minDeg >= n {
+		panic(fmt.Sprintf("graph: EnsureMinDegree %d impossible for %d vertices", minDeg, n))
+	}
+	for v := 0; v < n; v++ {
+		for g.Degree(v) < minDeg {
+			u := rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package graph implements the undirected social graph of an LBSN: an
+// adjacency-list structure with neighbour queries, traversal, and similarity
+// statistics, plus the random-graph generators (Erdős–Rényi, Watts–Strogatz,
+// Barabási–Albert) the LBSN simulator uses to wire friendships.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph over vertices 0..N-1 with no self-loops
+// or parallel edges. The zero Graph is unusable; construct with New.
+type Graph struct {
+	n   int
+	adj []map[int]struct{}
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("graph: invalid vertex count %d", n))
+	}
+	adj := make([]map[int]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[int]struct{})
+	}
+	return &Graph{n: n, adj: adj}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are rejected;
+// duplicate insertions are no-ops.
+func (g *Graph) AddEdge(u, v int) {
+	g.checkVertex(u)
+	g.checkVertex(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", u))
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.checkVertex(u)
+	g.checkVertex(v)
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// RemoveEdge deletes the undirected edge {u, v} if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	g.checkVertex(u)
+	g.checkVertex(v)
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+}
+
+func (g *Graph) checkVertex(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int {
+	g.checkVertex(v)
+	return len(g.adj[v])
+}
+
+// Neighbors returns the sorted neighbour list of v.
+func (g *Graph) Neighbors(v int) []int {
+	g.checkVertex(v)
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	var total int
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// Edges returns every undirected edge once, as ordered pairs (u < v), sorted.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// Components returns the connected components as sorted vertex lists, largest
+// first (ties broken by smallest vertex).
+func (g *Graph) Components() [][]int {
+	visited := make([]bool, g.n)
+	var comps [][]int
+	queue := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		queue = queue[:0]
+		queue = append(queue, s)
+		comp := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := range g.adj[u] {
+				if !visited[v] {
+					visited[v] = true
+					queue = append(queue, v)
+					comp = append(comp, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(a, b int) bool {
+		if len(comps[a]) != len(comps[b]) {
+			return len(comps[a]) > len(comps[b])
+		}
+		return comps[a][0] < comps[b][0]
+	})
+	return comps
+}
+
+// CommonNeighbors returns the number of shared neighbours of u and v.
+func (g *Graph) CommonNeighbors(u, v int) int {
+	g.checkVertex(u)
+	g.checkVertex(v)
+	a, b := g.adj[u], g.adj[v]
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var c int
+	for w := range a {
+		if _, ok := b[w]; ok {
+			c++
+		}
+	}
+	return c
+}
+
+// Jaccard returns the Jaccard similarity of the neighbourhoods of u and v,
+// or 0 when both are isolated.
+func (g *Graph) Jaccard(u, v int) float64 {
+	common := g.CommonNeighbors(u, v)
+	union := g.Degree(u) + g.Degree(v) - common
+	if union == 0 {
+		return 0
+	}
+	return float64(common) / float64(union)
+}
+
+// AverageDegree returns the mean vertex degree.
+func (g *Graph) AverageDegree() float64 {
+	return 2 * float64(g.EdgeCount()) / float64(g.n)
+}
+
+// LocalClustering returns the clustering coefficient of v: the fraction of
+// pairs of v's neighbours that are themselves connected, or 0 for degree < 2.
+func (g *Graph) LocalClustering(v int) float64 {
+	nbrs := g.Neighbors(v)
+	if len(nbrs) < 2 {
+		return 0
+	}
+	var closed int
+	for a := 0; a < len(nbrs); a++ {
+		for b := a + 1; b < len(nbrs); b++ {
+			if g.HasEdge(nbrs[a], nbrs[b]) {
+				closed++
+			}
+		}
+	}
+	return float64(closed) / float64(len(nbrs)*(len(nbrs)-1)/2)
+}
+
+// AverageClustering returns the mean local clustering coefficient, the
+// standard small-world statistic. Social networks have high clustering;
+// Erdős–Rényi graphs of the same density do not — the LBSN generator's
+// Watts-Strogatz backbone is verified against this.
+func (g *Graph) AverageClustering() float64 {
+	var sum float64
+	for v := 0; v < g.n; v++ {
+		sum += g.LocalClustering(v)
+	}
+	return sum / float64(g.n)
+}

@@ -1,0 +1,88 @@
+package lbsn
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonlCheckIn is the JSON-lines record for one check-in, the standard
+// interchange format for event streams (one JSON object per line). It is the
+// format an ingestion pipeline would emit, so real LBSN feeds can be piped
+// into the simulator's Dataset type.
+type jsonlCheckIn struct {
+	User  int `json:"user"`
+	POI   int `json:"poi"`
+	Month int `json:"month"`
+	Week  int `json:"week"`
+	Hour  int `json:"hour"`
+}
+
+// WriteCheckInsJSONL streams the dataset's check-ins to w as JSON lines.
+func (d *Dataset) WriteCheckInsJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, c := range d.CheckIns {
+		if err := enc.Encode(jsonlCheckIn{User: c.User, POI: c.POI, Month: c.Month, Week: c.Week, Hour: c.Hour}); err != nil {
+			return fmt.Errorf("lbsn: encoding check-in: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCheckInsJSONL parses a JSON-lines check-in stream. Blank lines are
+// skipped; any malformed line aborts with an error naming its line number.
+func ReadCheckInsJSONL(r io.Reader) ([]CheckIn, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []CheckIn
+	line := 0
+	for scanner.Scan() {
+		line++
+		raw := scanner.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec jsonlCheckIn
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("lbsn: JSONL line %d: %w", line, err)
+		}
+		ci := CheckIn{User: rec.User, POI: rec.POI, Month: rec.Month, Week: rec.Week, Hour: rec.Hour}
+		if ci.Month < 0 || ci.Month > 11 || ci.Week < 0 || ci.Week > 52 || ci.Hour < 0 || ci.Hour > 23 {
+			return nil, fmt.Errorf("lbsn: JSONL line %d: calendar (%d,%d,%d) out of range", line, ci.Month, ci.Week, ci.Hour)
+		}
+		out = append(out, ci)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("lbsn: reading JSONL: %w", err)
+	}
+	return out, nil
+}
+
+// WriteCheckInsJSONLFile writes the check-in stream to a file.
+func (d *Dataset) WriteCheckInsJSONLFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("lbsn: creating %s: %w", path, err)
+	}
+	if err := d.WriteCheckInsJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("lbsn: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadCheckInsJSONLFile reads a check-in stream from a file.
+func ReadCheckInsJSONLFile(path string) ([]CheckIn, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("lbsn: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadCheckInsJSONL(f)
+}

@@ -1,0 +1,66 @@
+package lbsn
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	ds := MustGenerate(smallConfig(40))
+	var buf bytes.Buffer
+	if err := ds.WriteCheckInsJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCheckInsJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ds.CheckIns) {
+		t.Fatalf("round trip: %d check-ins, want %d", len(back), len(ds.CheckIns))
+	}
+	for i := range back {
+		if back[i] != ds.CheckIns[i] {
+			t.Fatalf("check-in %d differs: %+v vs %+v", i, back[i], ds.CheckIns[i])
+		}
+	}
+}
+
+func TestJSONLFileRoundTrip(t *testing.T) {
+	ds := MustGenerate(smallConfig(41))
+	path := filepath.Join(t.TempDir(), "checkins.jsonl")
+	if err := ds.WriteCheckInsJSONLFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCheckInsJSONLFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ds.CheckIns) {
+		t.Fatal("file round trip lost check-ins")
+	}
+	if _, err := ReadCheckInsJSONLFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestJSONLSkipsBlankAndRejectsMalformed(t *testing.T) {
+	in := `{"user":1,"poi":2,"month":3,"week":12,"hour":9}
+
+{"user":0,"poi":1,"month":0,"week":0,"hour":0}
+`
+	cis, err := ReadCheckInsJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cis) != 2 || cis[0].POI != 2 {
+		t.Fatalf("parsed %v", cis)
+	}
+	if _, err := ReadCheckInsJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("malformed line must error")
+	}
+	if _, err := ReadCheckInsJSONL(strings.NewReader(`{"user":0,"poi":0,"month":12,"week":0,"hour":0}` + "\n")); err == nil {
+		t.Fatal("out-of-range month must error")
+	}
+}

@@ -1,0 +1,204 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// EigenResult holds a symmetric eigendecomposition: Values[i] is the i-th
+// eigenvalue (sorted descending) and the i-th column of Vectors is the
+// corresponding unit eigenvector.
+type EigenResult struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// SymEigen computes the full eigendecomposition of the symmetric matrix a
+// using the cyclic Jacobi method. It is cubic per sweep and intended for
+// matrices up to a few hundred rows; use TopEigenvectors for leading
+// eigenpairs of larger matrices. The input is not modified.
+func SymEigen(a *Matrix) (*EigenResult, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: SymEigen requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	w := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius mass; stop when it is negligible relative
+		// to the matrix scale.
+		var off, scale float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				x := w.At(i, j)
+				scale += x * x
+				if i != j {
+					off += x * x
+				}
+			}
+		}
+		if off <= 1e-24*scale || off == 0 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				// Stable tangent of the rotation angle.
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				applyJacobiRotation(w, v, p, q, c, s)
+			}
+		}
+	}
+
+	res := &EigenResult{Values: make([]float64, n), Vectors: New(n, n)}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = w.At(i, i)
+	}
+	sort.Slice(order, func(x, y int) bool { return diag[order[x]] > diag[order[y]] })
+	for rank, idx := range order {
+		res.Values[rank] = diag[idx]
+		for r := 0; r < n; r++ {
+			res.Vectors.Set(r, rank, v.At(r, idx))
+		}
+	}
+	return res, nil
+}
+
+// applyJacobiRotation performs the two-sided rotation on w (symmetric) and the
+// one-sided update on the eigenvector accumulator v, for the (p, q) plane with
+// cosine c and sine s.
+func applyJacobiRotation(w, v *Matrix, p, q int, c, s float64) {
+	n := w.Rows
+	for k := 0; k < n; k++ {
+		wkp, wkq := w.At(k, p), w.At(k, q)
+		w.Set(k, p, c*wkp-s*wkq)
+		w.Set(k, q, s*wkp+c*wkq)
+	}
+	for k := 0; k < n; k++ {
+		wpk, wqk := w.At(p, k), w.At(q, k)
+		w.Set(p, k, c*wpk-s*wqk)
+		w.Set(q, k, s*wpk+c*wqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+// TopEigenvectors returns the r leading eigenpairs of the symmetric matrix a
+// by block orthogonal iteration (subspace power iteration with QR
+// re-orthonormalization). Eigenvalues are returned in descending order of
+// magnitude of the Rayleigh quotients. The method converges geometrically with
+// ratio |λ_{r+1}/λ_r|; maxIter bounds the sweeps. It is the workhorse behind
+// the TCSS spectral initialization where a is I×I, J×J or K×K.
+func TopEigenvectors(a *Matrix, r, maxIter int, rng *rand.Rand) (*EigenResult, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: TopEigenvectors requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if r <= 0 || r > n {
+		return nil, fmt.Errorf("mat: TopEigenvectors rank %d out of range (1..%d)", r, n)
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	q := RandomNormal(n, r, 1, rng)
+	qrOrthonormalize(q)
+	var prev []float64
+	for it := 0; it < maxIter; it++ {
+		z := a.Mul(q)
+		qrOrthonormalize(z)
+		q = z
+		// Rayleigh quotients along the current basis as a convergence probe.
+		vals := rayleigh(a, q)
+		if prev != nil {
+			var diff float64
+			for i := range vals {
+				diff += math.Abs(vals[i] - prev[i])
+			}
+			if diff < 1e-12*(1+math.Abs(vals[0])) {
+				prev = vals
+				break
+			}
+		}
+		prev = vals
+	}
+	// Rotate q to diagonalize the projected matrix qᵀAq, so the returned
+	// columns are true eigenvector estimates rather than an arbitrary basis
+	// of the dominant subspace.
+	proj := q.TMul(a.Mul(q))
+	small, err := SymEigen(proj)
+	if err != nil {
+		return nil, err
+	}
+	vectors := q.Mul(small.Vectors)
+	return &EigenResult{Values: small.Values, Vectors: vectors}, nil
+}
+
+func rayleigh(a, q *Matrix) []float64 {
+	az := a.Mul(q)
+	vals := make([]float64, q.Cols)
+	for j := 0; j < q.Cols; j++ {
+		var num float64
+		for i := 0; i < q.Rows; i++ {
+			num += q.At(i, j) * az.At(i, j)
+		}
+		vals[j] = num
+	}
+	return vals
+}
+
+// qrOrthonormalize replaces the columns of q with an orthonormal basis of
+// their span using modified Gram-Schmidt with one re-orthogonalization pass.
+// Columns that become numerically zero are replaced with canonical unit
+// vectors so the basis keeps full column rank.
+func qrOrthonormalize(q *Matrix) {
+	n, r := q.Rows, q.Cols
+	col := make([]float64, n)
+	for j := 0; j < r; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = q.At(i, j)
+		}
+		for pass := 0; pass < 2; pass++ {
+			for k := 0; k < j; k++ {
+				var dot float64
+				for i := 0; i < n; i++ {
+					dot += col[i] * q.At(i, k)
+				}
+				for i := 0; i < n; i++ {
+					col[i] -= dot * q.At(i, k)
+				}
+			}
+		}
+		norm := Norm2(col)
+		if norm < 1e-300 {
+			// Degenerate column: substitute e_{j mod n}.
+			for i := range col {
+				col[i] = 0
+			}
+			col[j%n] = 1
+		} else {
+			ScaleVec(1/norm, col)
+		}
+		for i := 0; i < n; i++ {
+			q.Set(i, j, col[i])
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky computes the lower-triangular factor L with a = L·Lᵀ for a
+// symmetric positive-definite matrix. It returns an error if a is not
+// (numerically) positive definite. ALS sweeps in the CP/Tucker/P-Tucker
+// baselines solve their ridge-regularized normal equations through this
+// factorization.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: Cholesky requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("mat: Cholesky pivot %d is non-positive (%g); matrix not PD", i, sum)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves a·x = b given the Cholesky factor l of a, for a single
+// right-hand side. b is not modified.
+func CholeskySolve(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD solves a·x = b for symmetric positive-definite a. If a is only
+// positive semi-definite, pass a small ridge to regularize it first.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return CholeskySolve(l, b), nil
+}
+
+// SolveSPDMatrix solves a·X = B column-wise for symmetric positive-definite a.
+func SolveSPDMatrix(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("mat: SolveSPDMatrix shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	out := New(b.Rows, b.Cols)
+	col := make([]float64, b.Rows)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < b.Rows; i++ {
+			col[i] = b.At(i, j)
+		}
+		x := CholeskySolve(l, col)
+		for i := 0; i < b.Rows; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out, nil
+}
+
+// AddRidge adds lambda to the diagonal of the square matrix a in place and
+// returns a for chaining. It is the standard Tikhonov regularization used
+// before Cholesky in ALS updates.
+func (m *Matrix) AddRidge(lambda float64) *Matrix {
+	if m.Rows != m.Cols {
+		panic("mat: AddRidge requires a square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += lambda
+	}
+	return m
+}

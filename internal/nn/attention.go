@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Attention implements scaled dot-product attention over a variable-length
+// sequence of key/value vectors, the core operation of the STAN baseline.
+// It is stateless; gradients flow back to the query, keys and values, which
+// the caller owns (typically embedding rows).
+type Attention struct {
+	Dim int
+}
+
+// AttentionCache holds the intermediates of one Forward call.
+type AttentionCache struct {
+	Q      []float64
+	K, V   [][]float64
+	Scores []float64 // softmax weights
+	Out    []float64
+}
+
+// Forward computes out = Σ softmax(q·k_i/√d)·v_i. keys and values must have
+// equal length ≥ 1 and every vector must have dimension Dim.
+func (a *Attention) Forward(q []float64, keys, values [][]float64) ([]float64, *AttentionCache) {
+	n := len(keys)
+	if n == 0 || len(values) != n {
+		panic(fmt.Sprintf("nn: Attention needs matching non-empty keys/values, got %d/%d", n, len(values)))
+	}
+	if len(q) != a.Dim {
+		panic(fmt.Sprintf("nn: Attention query dim %d, want %d", len(q), a.Dim))
+	}
+	scale := 1 / math.Sqrt(float64(a.Dim))
+	logits := make([]float64, n)
+	maxLogit := math.Inf(-1)
+	for i, k := range keys {
+		var s float64
+		for d, qd := range q {
+			s += qd * k[d]
+		}
+		logits[i] = s * scale
+		if logits[i] > maxLogit {
+			maxLogit = logits[i]
+		}
+	}
+	weights := make([]float64, n)
+	var z float64
+	for i, l := range logits {
+		weights[i] = math.Exp(l - maxLogit)
+		z += weights[i]
+	}
+	out := make([]float64, a.Dim)
+	for i := range weights {
+		weights[i] /= z
+		for d := 0; d < a.Dim; d++ {
+			out[d] += weights[i] * values[i][d]
+		}
+	}
+	return out, &AttentionCache{Q: q, K: keys, V: values, Scores: weights, Out: out}
+}
+
+// Backward returns gradients w.r.t. the query, keys and values given the
+// upstream gradient of the output.
+func (a *Attention) Backward(cache *AttentionCache, dOut []float64) (dQ []float64, dK, dV [][]float64) {
+	n := len(cache.K)
+	scale := 1 / math.Sqrt(float64(a.Dim))
+	dV = make([][]float64, n)
+	dA := make([]float64, n) // gradient of the softmax weights
+	for i := 0; i < n; i++ {
+		dV[i] = make([]float64, a.Dim)
+		for d := 0; d < a.Dim; d++ {
+			dV[i][d] = cache.Scores[i] * dOut[d]
+			dA[i] += cache.V[i][d] * dOut[d]
+		}
+	}
+	// Softmax backward: dLogit_i = a_i (dA_i - Σ_j a_j dA_j).
+	var dot float64
+	for i := 0; i < n; i++ {
+		dot += cache.Scores[i] * dA[i]
+	}
+	dQ = make([]float64, a.Dim)
+	dK = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		dLogit := cache.Scores[i] * (dA[i] - dot) * scale
+		dK[i] = make([]float64, a.Dim)
+		for d := 0; d < a.Dim; d++ {
+			dQ[d] += dLogit * cache.K[i][d]
+			dK[i][d] = dLogit * cache.Q[d]
+		}
+	}
+	return dQ, dK, dV
+}

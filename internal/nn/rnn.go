@@ -1,0 +1,234 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RNNCell is a vanilla recurrent cell h' = tanh(Wx·x + Wh·h + b). The STRNN
+// baseline composes it with spatial/temporal transition matrices. Forward
+// returns a cache that must be passed back to Backward; callers implementing
+// backpropagation-through-time keep one cache per step.
+type RNNCell struct {
+	InDim, HidDim  int
+	Wx, Wh, B      []float64
+	GradWx, GradWh []float64
+	GradB          []float64
+	name           string
+}
+
+// NewRNNCell returns a cell with Xavier-initialized weights.
+func NewRNNCell(name string, inDim, hidDim int, rng *rand.Rand) *RNNCell {
+	c := &RNNCell{
+		InDim: inDim, HidDim: hidDim,
+		Wx: xavier(hidDim*inDim, inDim+hidDim, rng), Wh: xavier(hidDim*hidDim, 2*hidDim, rng),
+		B:      make([]float64, hidDim),
+		GradWx: make([]float64, hidDim*inDim), GradWh: make([]float64, hidDim*hidDim),
+		GradB: make([]float64, hidDim),
+		name:  name,
+	}
+	return c
+}
+
+func xavier(n, fan int, rng *rand.Rand) []float64 {
+	w := make([]float64, n)
+	limit := math.Sqrt(6.0 / float64(fan))
+	for i := range w {
+		w[i] = (2*rng.Float64() - 1) * limit
+	}
+	return w
+}
+
+// RNNCache holds the intermediates of one RNNCell.Forward step.
+type RNNCache struct {
+	X, HPrev, H []float64
+}
+
+// Forward advances the hidden state by one step.
+func (c *RNNCell) Forward(x, hPrev []float64) ([]float64, *RNNCache) {
+	if len(x) != c.InDim || len(hPrev) != c.HidDim {
+		panic(fmt.Sprintf("nn: RNNCell %q dims: x=%d h=%d want %d/%d", c.name, len(x), len(hPrev), c.InDim, c.HidDim))
+	}
+	h := make([]float64, c.HidDim)
+	for o := 0; o < c.HidDim; o++ {
+		s := c.B[o]
+		rx := c.Wx[o*c.InDim : (o+1)*c.InDim]
+		for i, xi := range x {
+			s += rx[i] * xi
+		}
+		rh := c.Wh[o*c.HidDim : (o+1)*c.HidDim]
+		for i, hi := range hPrev {
+			s += rh[i] * hi
+		}
+		h[o] = math.Tanh(s)
+	}
+	return h, &RNNCache{X: x, HPrev: hPrev, H: h}
+}
+
+// Backward accumulates parameter gradients for one step and returns the
+// gradients w.r.t. the step input and the previous hidden state.
+func (c *RNNCell) Backward(cache *RNNCache, dH []float64) (dX, dHPrev []float64) {
+	dX = make([]float64, c.InDim)
+	dHPrev = make([]float64, c.HidDim)
+	for o, g := range dH {
+		// Through tanh.
+		gz := g * (1 - cache.H[o]*cache.H[o])
+		c.GradB[o] += gz
+		rx := c.Wx[o*c.InDim : (o+1)*c.InDim]
+		gx := c.GradWx[o*c.InDim : (o+1)*c.InDim]
+		for i, xi := range cache.X {
+			gx[i] += gz * xi
+			dX[i] += gz * rx[i]
+		}
+		rh := c.Wh[o*c.HidDim : (o+1)*c.HidDim]
+		gh := c.GradWh[o*c.HidDim : (o+1)*c.HidDim]
+		for i, hi := range cache.HPrev {
+			gh[i] += gz * hi
+			dHPrev[i] += gz * rh[i]
+		}
+	}
+	return dX, dHPrev
+}
+
+// Params implements Layer-style parameter exposure.
+func (c *RNNCell) Params() []Param {
+	return []Param{
+		{Name: c.name + ".Wx", Value: c.Wx, Grad: c.GradWx},
+		{Name: c.name + ".Wh", Value: c.Wh, Grad: c.GradWh},
+		{Name: c.name + ".b", Value: c.B, Grad: c.GradB},
+	}
+}
+
+// ZeroGrad clears the gradient accumulators.
+func (c *RNNCell) ZeroGrad() {
+	zero(c.GradWx)
+	zero(c.GradWh)
+	zero(c.GradB)
+}
+
+// LSTMCell is a standard long short-term memory cell. Gate pre-activations
+// are computed as W·[x; hPrev] + b with the four gates (input, forget,
+// output, candidate) stacked in that order.
+type LSTMCell struct {
+	InDim, HidDim int
+	W             []float64 // (4*Hid) × (In+Hid)
+	B             []float64 // 4*Hid; forget-gate slice initialized to 1
+	GradW, GradB  []float64
+	name          string
+}
+
+// NewLSTMCell returns an LSTM cell with Xavier weights and forget bias 1.
+func NewLSTMCell(name string, inDim, hidDim int, rng *rand.Rand) *LSTMCell {
+	cols := inDim + hidDim
+	c := &LSTMCell{
+		InDim: inDim, HidDim: hidDim,
+		W:     xavier(4*hidDim*cols, cols+hidDim, rng),
+		B:     make([]float64, 4*hidDim),
+		GradW: make([]float64, 4*hidDim*cols), GradB: make([]float64, 4*hidDim),
+		name: name,
+	}
+	for i := hidDim; i < 2*hidDim; i++ { // forget gate bias
+		c.B[i] = 1
+	}
+	return c
+}
+
+// LSTMCache holds the intermediates of one LSTMCell.Forward step.
+type LSTMCache struct {
+	XH            []float64 // concatenated [x; hPrev]
+	CPrev         []float64
+	I, F, O, G, C []float64
+	TanhC         []float64
+}
+
+// Forward advances (h, c) by one step.
+func (c *LSTMCell) Forward(x, hPrev, cPrev []float64) (h, cNew []float64, cache *LSTMCache) {
+	if len(x) != c.InDim || len(hPrev) != c.HidDim || len(cPrev) != c.HidDim {
+		panic(fmt.Sprintf("nn: LSTMCell %q dims: x=%d h=%d c=%d", c.name, len(x), len(hPrev), len(cPrev)))
+	}
+	cols := c.InDim + c.HidDim
+	xh := make([]float64, cols)
+	copy(xh, x)
+	copy(xh[c.InDim:], hPrev)
+
+	hid := c.HidDim
+	pre := make([]float64, 4*hid)
+	for o := 0; o < 4*hid; o++ {
+		row := c.W[o*cols : (o+1)*cols]
+		s := c.B[o]
+		for i, v := range xh {
+			s += row[i] * v
+		}
+		pre[o] = s
+	}
+	cache = &LSTMCache{
+		XH: xh, CPrev: cPrev,
+		I: make([]float64, hid), F: make([]float64, hid), O: make([]float64, hid),
+		G: make([]float64, hid), C: make([]float64, hid), TanhC: make([]float64, hid),
+	}
+	h = make([]float64, hid)
+	cNew = cache.C
+	for j := 0; j < hid; j++ {
+		cache.I[j] = SigmoidF(pre[j])
+		cache.F[j] = SigmoidF(pre[hid+j])
+		cache.O[j] = SigmoidF(pre[2*hid+j])
+		cache.G[j] = math.Tanh(pre[3*hid+j])
+		cache.C[j] = cache.F[j]*cPrev[j] + cache.I[j]*cache.G[j]
+		cache.TanhC[j] = math.Tanh(cache.C[j])
+		h[j] = cache.O[j] * cache.TanhC[j]
+	}
+	return h, cNew, cache
+}
+
+// Backward accumulates parameter gradients for one step. dH and dC are the
+// upstream gradients of the step's hidden and cell outputs (pass a zero dC
+// at the last timestep). It returns gradients w.r.t. x, hPrev and cPrev.
+func (c *LSTMCell) Backward(cache *LSTMCache, dH, dC []float64) (dX, dHPrev, dCPrev []float64) {
+	hid := c.HidDim
+	cols := c.InDim + c.HidDim
+	dPre := make([]float64, 4*hid)
+	dCPrev = make([]float64, hid)
+	for j := 0; j < hid; j++ {
+		dO := dH[j] * cache.TanhC[j]
+		dCj := dC[j] + dH[j]*cache.O[j]*(1-cache.TanhC[j]*cache.TanhC[j])
+		dI := dCj * cache.G[j]
+		dF := dCj * cache.CPrev[j]
+		dG := dCj * cache.I[j]
+		dCPrev[j] = dCj * cache.F[j]
+		dPre[j] = dI * cache.I[j] * (1 - cache.I[j])
+		dPre[hid+j] = dF * cache.F[j] * (1 - cache.F[j])
+		dPre[2*hid+j] = dO * cache.O[j] * (1 - cache.O[j])
+		dPre[3*hid+j] = dG * (1 - cache.G[j]*cache.G[j])
+	}
+	dXH := make([]float64, cols)
+	for o, g := range dPre {
+		if g == 0 {
+			continue
+		}
+		row := c.W[o*cols : (o+1)*cols]
+		grow := c.GradW[o*cols : (o+1)*cols]
+		c.GradB[o] += g
+		for i, v := range cache.XH {
+			grow[i] += g * v
+			dXH[i] += g * row[i]
+		}
+	}
+	dX = dXH[:c.InDim]
+	dHPrev = dXH[c.InDim:]
+	return dX, dHPrev, dCPrev
+}
+
+// Params implements Layer-style parameter exposure.
+func (c *LSTMCell) Params() []Param {
+	return []Param{
+		{Name: c.name + ".W", Value: c.W, Grad: c.GradW},
+		{Name: c.name + ".b", Value: c.B, Grad: c.GradB},
+	}
+}
+
+// ZeroGrad clears the gradient accumulators.
+func (c *LSTMCell) ZeroGrad() {
+	zero(c.GradW)
+	zero(c.GradB)
+}

@@ -1,0 +1,141 @@
+// Package opt implements the first-order optimizers used to train the TCSS
+// model and the neural baselines: SGD with momentum and Adam with decoupled
+// weight decay, plus global gradient-norm clipping. Parameters are flat
+// float64 slices grouped by name; an optimizer keeps per-group moment state
+// keyed on the group name, so the caller just calls Step with the same names
+// every iteration.
+package opt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer updates a named parameter group in place given its gradient.
+type Optimizer interface {
+	// Step applies one update to params using grads. Both slices must have
+	// the same (per-name stable) length.
+	Step(name string, params, grads []float64)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity map[string][]float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and momentum
+// (0 disables momentum).
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[string][]float64)}
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step(name string, params, grads []float64) {
+	checkLens(name, params, grads)
+	if s.Momentum == 0 {
+		for i, g := range grads {
+			params[i] -= s.LR * g
+		}
+		return
+	}
+	v := s.velocity[name]
+	if v == nil {
+		v = make([]float64, len(params))
+		s.velocity[name] = v
+	}
+	for i, g := range grads {
+		v[i] = s.Momentum*v[i] - s.LR*g
+		params[i] += v[i]
+	}
+}
+
+// Adam implements the Adam optimizer with decoupled weight decay (AdamW).
+// The paper trains with Adam, lr = 0.001 and weight decay 0.1; NewAdamPaper
+// returns exactly that configuration.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	steps map[string]int
+	m     map[string][]float64
+	v     map[string][]float64
+}
+
+// NewAdam returns an Adam optimizer with the standard betas (0.9, 0.999).
+func NewAdam(lr, weightDecay float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay,
+		steps: make(map[string]int),
+		m:     make(map[string][]float64),
+		v:     make(map[string][]float64),
+	}
+}
+
+// NewAdamPaper returns Adam configured as in the paper's experiments:
+// learning rate 0.001 and weight decay 0.1.
+func NewAdamPaper() *Adam { return NewAdam(0.001, 0.1) }
+
+// Step applies one Adam update with bias correction and decoupled decay.
+func (a *Adam) Step(name string, params, grads []float64) {
+	checkLens(name, params, grads)
+	m, v := a.m[name], a.v[name]
+	if m == nil {
+		m = make([]float64, len(params))
+		v = make([]float64, len(params))
+		a.m[name], a.v[name] = m, v
+	}
+	a.steps[name]++
+	t := float64(a.steps[name])
+	c1 := 1 - math.Pow(a.Beta1, t)
+	c2 := 1 - math.Pow(a.Beta2, t)
+	for i, g := range grads {
+		m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+		v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+		mHat := m[i] / c1
+		vHat := v[i] / c2
+		params[i] -= a.LR * (mHat/(math.Sqrt(vHat)+a.Eps) + a.WeightDecay*params[i])
+	}
+}
+
+// Reset clears all moment state, e.g. between independent training runs that
+// reuse the same optimizer.
+func (a *Adam) Reset() {
+	a.steps = make(map[string]int)
+	a.m = make(map[string][]float64)
+	a.v = make(map[string][]float64)
+}
+
+func checkLens(name string, params, grads []float64) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("opt: group %q params/grads length mismatch %d vs %d", name, len(params), len(grads)))
+	}
+}
+
+// ClipGradNorm scales all gradient groups in place so their joint Euclidean
+// norm is at most maxNorm, and returns the pre-clip norm. It is a no-op when
+// the norm is already within bounds or maxNorm <= 0.
+func ClipGradNorm(maxNorm float64, groups ...[]float64) float64 {
+	var sq float64
+	for _, g := range groups {
+		for _, x := range g {
+			sq += x * x
+		}
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, g := range groups {
+		for i := range g {
+			g[i] *= scale
+		}
+	}
+	return norm
+}

@@ -1,0 +1,131 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+// quadratic is f(x) = Σ (x_i - target_i)², gradient 2(x - target).
+func quadGrad(x, target []float64) []float64 {
+	g := make([]float64, len(x))
+	for i := range x {
+		g[i] = 2 * (x[i] - target[i])
+	}
+	return g
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	x := []float64{5, -3}
+	target := []float64{1, 2}
+	s := NewSGD(0.1, 0)
+	for i := 0; i < 200; i++ {
+		s.Step("x", x, quadGrad(x, target))
+	}
+	for i := range x {
+		if math.Abs(x[i]-target[i]) > 1e-6 {
+			t.Fatalf("SGD failed to converge: %v", x)
+		}
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	x := []float64{5, -3}
+	target := []float64{1, 2}
+	s := NewSGD(0.05, 0.9)
+	for i := 0; i < 500; i++ {
+		s.Step("x", x, quadGrad(x, target))
+	}
+	for i := range x {
+		if math.Abs(x[i]-target[i]) > 1e-4 {
+			t.Fatalf("momentum SGD failed to converge: %v", x)
+		}
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	x := []float64{5, -3}
+	target := []float64{1, 2}
+	a := NewAdam(0.1, 0)
+	for i := 0; i < 1000; i++ {
+		a.Step("x", x, quadGrad(x, target))
+	}
+	for i := range x {
+		if math.Abs(x[i]-target[i]) > 1e-3 {
+			t.Fatalf("Adam failed to converge: %v", x)
+		}
+	}
+}
+
+func TestAdamWeightDecayShrinks(t *testing.T) {
+	// With zero gradient and positive decay, parameters must decay toward 0.
+	x := []float64{4}
+	a := NewAdam(0.01, 0.5)
+	zero := []float64{0}
+	for i := 0; i < 100; i++ {
+		a.Step("x", x, zero)
+	}
+	if math.Abs(x[0]) >= 4 {
+		t.Fatalf("weight decay did not shrink parameter: %v", x)
+	}
+}
+
+func TestAdamIndependentGroups(t *testing.T) {
+	a := NewAdam(0.1, 0)
+	x := []float64{1}
+	y := []float64{1, 1}
+	a.Step("x", x, []float64{1})
+	a.Step("y", y, []float64{1, 1}) // must not collide with group x
+	if len(a.m["x"]) != 1 || len(a.m["y"]) != 2 {
+		t.Fatal("per-group state sized wrong")
+	}
+}
+
+func TestAdamReset(t *testing.T) {
+	a := NewAdam(0.1, 0)
+	x := []float64{1}
+	a.Step("x", x, []float64{1})
+	a.Reset()
+	if len(a.m) != 0 || len(a.steps) != 0 {
+		t.Fatal("Reset must clear state")
+	}
+}
+
+func TestAdamPaperDefaults(t *testing.T) {
+	a := NewAdamPaper()
+	if a.LR != 0.001 || a.WeightDecay != 0.1 {
+		t.Fatalf("paper config wrong: lr=%g wd=%g", a.LR, a.WeightDecay)
+	}
+}
+
+func TestStepPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	NewSGD(0.1, 0).Step("x", []float64{1, 2}, []float64{1})
+}
+
+func TestClipGradNorm(t *testing.T) {
+	g1 := []float64{3, 0}
+	g2 := []float64{0, 4}
+	norm := ClipGradNorm(1, g1, g2) // joint norm 5 -> scale 1/5
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %g, want 5", norm)
+	}
+	if math.Abs(g1[0]-0.6) > 1e-12 || math.Abs(g2[1]-0.8) > 1e-12 {
+		t.Fatalf("clipped grads wrong: %v %v", g1, g2)
+	}
+	// Already small: unchanged.
+	g := []float64{0.1}
+	ClipGradNorm(1, g)
+	if g[0] != 0.1 {
+		t.Fatal("small gradient must not be clipped")
+	}
+	// maxNorm <= 0 disables clipping.
+	g = []float64{10}
+	ClipGradNorm(0, g)
+	if g[0] != 10 {
+		t.Fatal("maxNorm=0 must disable clipping")
+	}
+}

@@ -1,0 +1,127 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule maps an epoch index to a learning-rate multiplier in (0, 1]. The
+// trainer multiplies the optimizer's base rate by the schedule each epoch.
+type Schedule interface {
+	// Factor returns the multiplier for the given zero-based epoch.
+	Factor(epoch int) float64
+}
+
+// ConstantSchedule keeps the learning rate fixed.
+type ConstantSchedule struct{}
+
+// Factor implements Schedule.
+func (ConstantSchedule) Factor(int) float64 { return 1 }
+
+// ExponentialSchedule decays the rate by Gamma every epoch:
+// factor = Gamma^epoch.
+type ExponentialSchedule struct {
+	Gamma float64
+}
+
+// Factor implements Schedule.
+func (s ExponentialSchedule) Factor(epoch int) float64 {
+	return math.Pow(s.Gamma, float64(epoch))
+}
+
+// StepSchedule multiplies the rate by Gamma every StepSize epochs.
+type StepSchedule struct {
+	StepSize int
+	Gamma    float64
+}
+
+// Factor implements Schedule.
+func (s StepSchedule) Factor(epoch int) float64 {
+	if s.StepSize <= 0 {
+		return 1
+	}
+	return math.Pow(s.Gamma, float64(epoch/s.StepSize))
+}
+
+// CosineSchedule anneals the rate from 1 to MinFactor over TotalEpochs
+// following a half cosine, the standard warm-to-cold annealing.
+type CosineSchedule struct {
+	TotalEpochs int
+	MinFactor   float64
+}
+
+// Factor implements Schedule.
+func (s CosineSchedule) Factor(epoch int) float64 {
+	if s.TotalEpochs <= 1 {
+		return 1
+	}
+	t := float64(epoch) / float64(s.TotalEpochs-1)
+	if t > 1 {
+		t = 1
+	}
+	return s.MinFactor + (1-s.MinFactor)*(1+math.Cos(math.Pi*t))/2
+}
+
+// WarmupSchedule linearly ramps the rate from nearly zero over WarmupEpochs,
+// then delegates to After (Constant if nil). Useful when starting from an
+// informative initialization that large early steps would destroy.
+type WarmupSchedule struct {
+	WarmupEpochs int
+	After        Schedule
+}
+
+// Factor implements Schedule.
+func (s WarmupSchedule) Factor(epoch int) float64 {
+	if s.WarmupEpochs > 0 && epoch < s.WarmupEpochs {
+		return float64(epoch+1) / float64(s.WarmupEpochs)
+	}
+	after := s.After
+	if after == nil {
+		after = ConstantSchedule{}
+	}
+	return after.Factor(epoch - s.WarmupEpochs)
+}
+
+// Scheduled wraps an optimizer so every Step uses base LR × schedule factor.
+// SetEpoch must be called as epochs advance.
+type Scheduled struct {
+	adam     *Adam
+	sgd      *SGD
+	schedule Schedule
+	baseLR   float64
+	epoch    int
+}
+
+// NewScheduled wraps an Adam or SGD optimizer with a schedule. Other
+// optimizer types are rejected because their rate fields are unknown.
+func NewScheduled(inner Optimizer, schedule Schedule) (*Scheduled, error) {
+	s := &Scheduled{schedule: schedule}
+	switch o := inner.(type) {
+	case *Adam:
+		s.adam = o
+		s.baseLR = o.LR
+	case *SGD:
+		s.sgd = o
+		s.baseLR = o.LR
+	default:
+		return nil, fmt.Errorf("opt: NewScheduled supports *Adam and *SGD, got %T", inner)
+	}
+	return s, nil
+}
+
+// SetEpoch updates the multiplier applied by subsequent Steps.
+func (s *Scheduled) SetEpoch(epoch int) { s.epoch = epoch }
+
+// Step implements Optimizer.
+func (s *Scheduled) Step(name string, params, grads []float64) {
+	lr := s.baseLR * s.schedule.Factor(s.epoch)
+	if s.adam != nil {
+		s.adam.LR = lr
+		s.adam.Step(name, params, grads)
+		s.adam.LR = s.baseLR
+		return
+	}
+	s.sgd.LR = lr
+	s.sgd.Step(name, params, grads)
+	s.sgd.LR = s.baseLR
+}

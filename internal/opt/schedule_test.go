@@ -1,0 +1,132 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantSchedule(t *testing.T) {
+	s := ConstantSchedule{}
+	for _, e := range []int{0, 5, 1000} {
+		if s.Factor(e) != 1 {
+			t.Fatal("constant schedule must always be 1")
+		}
+	}
+}
+
+func TestExponentialSchedule(t *testing.T) {
+	s := ExponentialSchedule{Gamma: 0.9}
+	if s.Factor(0) != 1 {
+		t.Fatal("epoch 0 factor must be 1")
+	}
+	if math.Abs(s.Factor(2)-0.81) > 1e-12 {
+		t.Fatalf("factor(2) = %g, want 0.81", s.Factor(2))
+	}
+}
+
+func TestStepSchedule(t *testing.T) {
+	s := StepSchedule{StepSize: 10, Gamma: 0.5}
+	if s.Factor(9) != 1 || s.Factor(10) != 0.5 || s.Factor(25) != 0.25 {
+		t.Fatalf("step factors wrong: %g %g %g", s.Factor(9), s.Factor(10), s.Factor(25))
+	}
+	if (StepSchedule{StepSize: 0, Gamma: 0.5}).Factor(100) != 1 {
+		t.Fatal("zero step size must be constant")
+	}
+}
+
+func TestCosineSchedule(t *testing.T) {
+	s := CosineSchedule{TotalEpochs: 11, MinFactor: 0.1}
+	if math.Abs(s.Factor(0)-1) > 1e-12 {
+		t.Fatalf("cosine start = %g, want 1", s.Factor(0))
+	}
+	if math.Abs(s.Factor(10)-0.1) > 1e-12 {
+		t.Fatalf("cosine end = %g, want 0.1", s.Factor(10))
+	}
+	mid := s.Factor(5)
+	if math.Abs(mid-(0.1+0.9/2)) > 1e-12 {
+		t.Fatalf("cosine mid = %g", mid)
+	}
+	// Beyond the horizon it stays at the floor.
+	if s.Factor(100) != s.Factor(10) {
+		t.Fatal("cosine must clamp past the horizon")
+	}
+}
+
+// Property: every schedule stays within (0, 1] and is non-increasing for the
+// decaying families.
+func TestScheduleMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		gamma := 0.5 + float64(seed%50)/100
+		schedules := []Schedule{
+			ExponentialSchedule{Gamma: gamma},
+			StepSchedule{StepSize: 3, Gamma: gamma},
+			CosineSchedule{TotalEpochs: 20, MinFactor: 0.05},
+		}
+		for _, s := range schedules {
+			prev := math.Inf(1)
+			for e := 0; e < 25; e++ {
+				v := s.Factor(e)
+				if v <= 0 || v > 1+1e-12 || v > prev+1e-12 {
+					return false
+				}
+				prev = v
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarmupSchedule(t *testing.T) {
+	s := WarmupSchedule{WarmupEpochs: 4, After: ExponentialSchedule{Gamma: 0.5}}
+	if s.Factor(0) != 0.25 || s.Factor(3) != 1 {
+		t.Fatalf("warmup ramp wrong: %g, %g", s.Factor(0), s.Factor(3))
+	}
+	if s.Factor(4) != 1 || s.Factor(5) != 0.5 {
+		t.Fatalf("post-warmup wrong: %g, %g", s.Factor(4), s.Factor(5))
+	}
+	if (WarmupSchedule{WarmupEpochs: 0}).Factor(7) != 1 {
+		t.Fatal("nil After must behave constant")
+	}
+}
+
+func TestScheduledOptimizer(t *testing.T) {
+	adam := NewAdam(0.1, 0)
+	s, err := NewScheduled(adam, StepSchedule{StepSize: 1, Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1}
+	s.SetEpoch(0)
+	s.Step("x", x, []float64{1})
+	if adam.LR != 0.1 {
+		t.Fatal("base LR must be restored after Step")
+	}
+	// Scheduled SGD converges on a quadratic like plain SGD.
+	sgd := NewSGD(0.2, 0)
+	ss, err := NewScheduled(sgd, CosineSchedule{TotalEpochs: 300, MinFactor: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := []float64{5}
+	for e := 0; e < 300; e++ {
+		ss.SetEpoch(e)
+		ss.Step("y", y, []float64{2 * (y[0] - 1)})
+	}
+	if math.Abs(y[0]-1) > 1e-3 {
+		t.Fatalf("scheduled SGD did not converge: %v", y)
+	}
+}
+
+func TestScheduledRejectsUnknownOptimizer(t *testing.T) {
+	if _, err := NewScheduled(fakeOptimizer{}, ConstantSchedule{}); err == nil {
+		t.Fatal("unknown optimizer type must be rejected")
+	}
+}
+
+type fakeOptimizer struct{}
+
+func (fakeOptimizer) Step(string, []float64, []float64) {}

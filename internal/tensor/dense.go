@@ -1,0 +1,68 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a dense order-3 tensor stored in a flat slice with k fastest,
+// then j, then i. It is used for small reference computations in tests, the
+// Tucker core tensor, and the naive whole-data loss of Table IV.
+type Dense struct {
+	DimI, DimJ, DimK int
+	Data             []float64
+}
+
+// NewDense returns a zero-filled dense tensor.
+func NewDense(dimI, dimJ, dimK int) *Dense {
+	if dimI <= 0 || dimJ <= 0 || dimK <= 0 {
+		panic(fmt.Sprintf("tensor: invalid dims %dx%dx%d", dimI, dimJ, dimK))
+	}
+	return &Dense{DimI: dimI, DimJ: dimJ, DimK: dimK, Data: make([]float64, dimI*dimJ*dimK)}
+}
+
+// At returns the value at (i, j, k).
+func (t *Dense) At(i, j, k int) float64 {
+	return t.Data[(i*t.DimJ+j)*t.DimK+k]
+}
+
+// Set assigns the value at (i, j, k).
+func (t *Dense) Set(i, j, k int, v float64) {
+	t.Data[(i*t.DimJ+j)*t.DimK+k] = v
+}
+
+// Add accumulates v at (i, j, k).
+func (t *Dense) Add(i, j, k int, v float64) {
+	t.Data[(i*t.DimJ+j)*t.DimK+k] += v
+}
+
+// ToDense materializes a sparse tensor densely. It panics (via make) on
+// tensors too large to fit in memory, so reserve it for small instances.
+func (t *COO) ToDense() *Dense {
+	out := NewDense(t.DimI, t.DimJ, t.DimK)
+	for _, e := range t.entries {
+		out.Set(e.I, e.J, e.K, e.Val)
+	}
+	return out
+}
+
+// FrobNorm returns the Frobenius norm of t.
+func (t *Dense) FrobNorm() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Sub returns t - b as a new dense tensor.
+func (t *Dense) Sub(b *Dense) *Dense {
+	if t.DimI != b.DimI || t.DimJ != b.DimJ || t.DimK != b.DimK {
+		panic("tensor: Sub shape mismatch")
+	}
+	out := NewDense(t.DimI, t.DimJ, t.DimK)
+	for i, v := range t.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+// Package tcss is the public API of this repository: a from-scratch Go
+// implementation of "Time-sensitive POI Recommendation by Tensor Completion
+// with Side Information" (ICDE 2022). It ties together the LBSN data layer,
+// the TCSS tensor-completion model with its social Hausdorff loss head, and
+// the paper's evaluation protocol behind one façade.
+//
+// Quickstart:
+//
+//	ds := tcss.GenerateDataset("gowalla", 42)
+//	rec, err := tcss.Fit(ds, tcss.Month, tcss.DefaultConfig())
+//	if err != nil { ... }
+//	fmt.Println(rec.Evaluate())          // Hit@10 / MRR on the held-out split
+//	for _, r := range rec.Recommend(7, 5, 10) {
+//	    fmt.Println(r.POI, r.Score)      // top POIs for user 7 in June
+//	}
+//
+// The lower-level building blocks live in internal packages; everything a
+// downstream user needs — dataset generation and IO, model training,
+// recommendation, evaluation, and the full suite of ablation variants — is
+// re-exported here.
+package tcss
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tcss/internal/core"
+	"tcss/internal/eval"
+	"tcss/internal/lbsn"
+	"tcss/internal/tensor"
+)
+
+// Re-exported model types. See the internal/core documentation for details.
+type (
+	// Config holds the TCSS training hyperparameters.
+	Config = core.Config
+	// Model is a trained TCSS model.
+	Model = core.Model
+	// Recommendation is one ranked POI suggestion.
+	Recommendation = core.Recommendation
+	// InitMethod selects the embedding initialization strategy.
+	InitMethod = core.InitMethod
+	// HausdorffVariant selects the social-spatial head variant.
+	HausdorffVariant = core.HausdorffVariant
+	// Dataset is a complete LBSN snapshot.
+	Dataset = lbsn.Dataset
+	// Granularity selects the time dimension of the check-in tensor.
+	Granularity = lbsn.Granularity
+	// Result holds the Hit@K and MRR metrics.
+	Result = eval.Result
+)
+
+// Re-exported enum values.
+const (
+	SpectralInit = core.SpectralInit
+	RandomInit   = core.RandomInit
+	OneHotInit   = core.OneHotInit
+
+	SocialHausdorff = core.SocialHausdorff
+	SelfHausdorff   = core.SelfHausdorff
+	NoHausdorff     = core.NoHausdorff
+	ZeroOut         = core.ZeroOut
+
+	Month = lbsn.Month
+	Week  = lbsn.Week
+	Hour  = lbsn.Hour
+)
+
+// DefaultConfig returns the default TCSS hyperparameters (the paper's §V-D
+// settings adapted to this implementation's full-batch optimizer; see the
+// internal/core documentation for the two documented deviations).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// PaperConfig returns the hyperparameters exactly as printed in the paper.
+func PaperConfig() Config { return core.PaperConfig() }
+
+// GenerateDataset synthesizes one of the four paper datasets ("gowalla",
+// "yelp", "foursquare", "gmu-5k") at laptop scale with the given seed. It
+// panics on an unknown name; use lbsn.NewPreset via GenerateDatasetNamed for
+// error handling.
+func GenerateDataset(preset string, seed int64) *Dataset {
+	return lbsn.MustPreset(preset, seed)
+}
+
+// LoadDataset reads a dataset previously saved with SaveDataset (or
+// converted from a real LBSN dump into the three-CSV layout).
+func LoadDataset(dir, name string) (*Dataset, error) { return lbsn.ReadDir(dir, name) }
+
+// SaveDataset persists a dataset as CSV files under dir.
+func SaveDataset(ds *Dataset, dir string) error { return ds.WriteDir(dir) }
+
+// Recommender is a TCSS model fitted to a dataset, bundled with the
+// train/test split and side information it was trained on.
+type Recommender struct {
+	Model   *Model
+	Dataset *Dataset
+	Gran    Granularity
+
+	Train *tensor.COO
+	Test  []tensor.Entry
+	Side  *core.SideInfo
+
+	cfg Config
+}
+
+// Fit splits the dataset's check-in tensor 80/20, builds the social-spatial
+// side information from the training portion, and trains a TCSS model.
+func Fit(ds *Dataset, gran Granularity, cfg Config) (*Recommender, error) {
+	return FitSplit(ds, gran, cfg, 0.8)
+}
+
+// FitSplit is Fit with an explicit training fraction.
+func FitSplit(ds *Dataset, gran Granularity, cfg Config, trainFrac float64) (*Recommender, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("tcss: invalid dataset: %w", err)
+	}
+	full := ds.Tensor(gran)
+	train, test := full.Split(trainFrac, rand.New(rand.NewSource(cfg.Seed)))
+	side, err := core.BuildSideInfo(ds.Social, ds.Distances(), train)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.Train(train, side, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Recommender{
+		Model: m, Dataset: ds, Gran: gran,
+		Train: train, Test: test, Side: side, cfg: cfg,
+	}, nil
+}
+
+// Evaluate runs the paper's ranking protocol (100 random negatives, Hit@10,
+// per-user MRR) on the held-out check-ins.
+func (r *Recommender) Evaluate() Result {
+	return eval.Rank(scorer{r.Model}, r.Test, r.Train.DimJ, eval.DefaultConfig())
+}
+
+// EvaluateWith runs the protocol with a custom configuration.
+func (r *Recommender) EvaluateWith(cfg eval.Config) Result {
+	return eval.Rank(scorer{r.Model}, r.Test, r.Train.DimJ, cfg)
+}
+
+type scorer struct{ m *Model }
+
+func (s scorer) Score(i, j, k int) float64 { return s.m.Score(i, j, k) }
+
+// Score returns the model's score for user i visiting POI j in time unit k.
+func (r *Recommender) Score(i, j, k int) float64 { return r.Model.Score(i, j, k) }
+
+// Recommend returns the top-n POIs for a user at a time unit, excluding POIs
+// the user already visited in the training data.
+func (r *Recommender) Recommend(user, timeUnit, n int) []Recommendation {
+	skip := make(map[int]bool)
+	for _, j := range r.Side.OwnPOIs[user] {
+		skip[j] = true
+	}
+	return r.Model.TopN(user, timeUnit, n, skip)
+}
+
+// FriendPOIs returns the POIs the user's friends visited in training — the
+// set N(v) the social Hausdorff head regularizes toward.
+func (r *Recommender) FriendPOIs(user int) []int { return r.Side.FriendPOIs[user] }
+
+// Explanation decomposes a recommendation into its social-spatial evidence.
+type Explanation = core.Explanation
+
+// Explain reports why the model scores (user, poi, timeUnit) the way it
+// does: visit probability, peak time unit, friend visitation, distance to
+// the nearest friend POI, and the location-entropy weight.
+func (r *Recommender) Explain(user, poi, timeUnit int) Explanation {
+	return r.Model.Explain(r.Side, user, poi, timeUnit)
+}
+
+// OnlineConfig controls incremental model updates.
+type OnlineConfig = core.OnlineConfig
+
+// DefaultOnlineConfig returns update hyperparameters matched to the default
+// training configuration.
+func DefaultOnlineConfig() OnlineConfig { return core.DefaultOnlineConfig() }
+
+// Observe folds new check-ins into the trained model without retraining from
+// scratch: the check-ins are added to the training tensor and the affected
+// user/POI factors are refined for a few epochs. Side information (friend
+// sets, entropy weights) is rebuilt so future updates and explanations see
+// the new data. It returns the number of genuinely new tensor cells.
+func (r *Recommender) Observe(checkIns []lbsn.CheckIn, cfg OnlineConfig) (int, error) {
+	entries := make([]tensor.Entry, len(checkIns))
+	for n, c := range checkIns {
+		entries[n] = tensor.Entry{I: c.User, J: c.POI, K: r.Gran.Index(c), Val: 1}
+	}
+	added, err := r.Model.UpdateOnline(r.Train, entries, r.Side, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if added > 0 {
+		r.Dataset.CheckIns = append(r.Dataset.CheckIns, checkIns...)
+		side, err := core.BuildSideInfo(r.Dataset.Social, r.Dataset.Distances(), r.Train)
+		if err != nil {
+			return added, err
+		}
+		r.Side = side
+	}
+	return added, nil
+}
+
+// SaveModel persists the trained model parameters as JSON.
+func (r *Recommender) SaveModel(path string) error { return r.Model.SaveFile(path) }
+
+// LoadModel reads model parameters previously written by SaveModel. The
+// caller is responsible for pairing it with the matching dataset.
+func LoadModel(path string) (*Model, error) { return core.LoadFile(path) }
