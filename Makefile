@@ -1,0 +1,33 @@
+GO ?= go
+
+# Kernel micro-benchmarks whose before/after numbers are tracked in
+# BENCH_PR1.json. The experiment benchmarks (BenchmarkTable*, BenchmarkFig*)
+# are much slower and run via `make bench-all`.
+KERNEL_BENCH = 'BenchmarkLoss(Naive|NegSampling|Rewritten)$$|BenchmarkLossRewrittenWorkers|BenchmarkHausdorffLoss|BenchmarkScoreSlab|BenchmarkMulBlocked|BenchmarkRank$$|BenchmarkSpectralInit|BenchmarkTrainEpoch'
+
+.PHONY: build test race vet bench bench-all check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the library packages, including the worker-count
+# invariance tests and the Workers=8 short training run.
+race:
+	$(GO) test -race -count=1 ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+# Kernel benchmarks; raw output lands in bench_kernels.txt for updating
+# BENCH_PR1.json by hand (the JSON also records machine context and the
+# before-numbers, which a fresh run cannot reproduce).
+bench:
+	$(GO) test -run '^$$' -bench $(KERNEL_BENCH) -benchmem -benchtime=1x -count=1 . | tee bench_kernels.txt
+
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -count=1 .
+
+check: build vet test race

@@ -18,8 +18,10 @@ import (
 	"testing"
 
 	"tcss/internal/core"
+	"tcss/internal/eval"
 	"tcss/internal/experiments"
 	"tcss/internal/lbsn"
+	"tcss/internal/mat"
 )
 
 // benchOptions trades fidelity for speed: quarter-scale presets and fewer
@@ -105,7 +107,10 @@ func BenchmarkLossNegSampling(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		grads.Zero()
-		negs := core.SampleNegatives(inst.Train, inst.Train.NNZ(), rng)
+		negs, err := core.SampleNegatives(inst.Train, inst.Train.NNZ(), rng)
+		if err != nil {
+			b.Fatal(err)
+		}
 		m.NegSamplingLoss(inst.Train, negs, 0.99, 0.01, grads)
 	}
 }
@@ -117,6 +122,22 @@ func BenchmarkLossRewritten(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		grads.Zero()
 		m.WholeDataLoss(inst.Train, 0.99, 0.01, grads)
+	}
+}
+
+// BenchmarkLossRewrittenWorkers sweeps the worker count of the parallel
+// positive-entry loop (1 worker = the serial path bit-for-bit).
+func BenchmarkLossRewrittenWorkers(b *testing.B) {
+	for _, w := range []int{1, 4, 8} {
+		b.Run("workers-"+strconv.Itoa(w), func(b *testing.B) {
+			inst, m := benchInstance(b)
+			grads := core.NewGrads(m)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				grads.Zero()
+				m.WholeDataLossWorkers(inst.Train, 0.99, 0.01, grads, w)
+			}
+		})
 	}
 }
 
@@ -134,6 +155,72 @@ func BenchmarkHausdorffLoss(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		grads.Zero()
 		head.Loss(m, users, grads)
+	}
+}
+
+// BenchmarkHausdorffLossWorkers sweeps the worker count of the user-sharded
+// social-Hausdorff pass.
+func BenchmarkHausdorffLossWorkers(b *testing.B) {
+	for _, w := range []int{1, 4, 8} {
+		b.Run("workers-"+strconv.Itoa(w), func(b *testing.B) {
+			inst, m := benchInstance(b)
+			head := core.NewHausdorff(inst.Side.Dist, inst.Side.EntropyW, inst.Side.FriendPOIs)
+			users := make([]int, m.I)
+			for i := range users {
+				users[i] = i
+			}
+			grads := core.NewGrads(m)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				grads.Zero()
+				head.LossWorkers(m, users, grads, w)
+			}
+		})
+	}
+}
+
+// BenchmarkScoreSlab measures the slab GEMM scoring kernel: one full J×K
+// prediction slice per iteration (the unit of work of the Hausdorff head and
+// the batch scorers).
+func BenchmarkScoreSlab(b *testing.B) {
+	_, m := benchInstance(b)
+	out := make([]float64, m.J*m.K)
+	scratch := make([]float64, 2*m.Rank)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScoreSlabScratch(i%m.I, out, scratch)
+	}
+}
+
+// BenchmarkMulBlocked compares the cache-blocked GEMM against the row-wise
+// kernel at a size where all three operands overflow L1.
+func BenchmarkMulBlocked(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 192
+	x := mat.Random(n, n, 1, rng)
+	y := mat.Random(n, n, 1, rng)
+	out := mat.New(n, n)
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mat.MulBlocked(out, x, y)
+		}
+	})
+	b.Run("rowwise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mat.MulInto(out, x, y)
+		}
+	})
+}
+
+// BenchmarkRank measures the §V-C ranking protocol (100 sampled negatives
+// per held-out entry, Hit@10 + MRR) that dominates benchmark-harness
+// wall-clock.
+func BenchmarkRank(b *testing.B) {
+	inst, m := benchInstance(b)
+	cfg := eval.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.Rank(m, inst.Test, inst.Train.DimJ, cfg)
 	}
 }
 

@@ -78,7 +78,10 @@ func (c *CoSTCo) Fit(ctx *Context) error {
 		epochs = 10
 	}
 	for epoch := 0; epoch < epochs; epoch++ {
-		negs := core.SampleNegatives(x, x.NNZ(), rng)
+		negs, err := core.SampleNegatives(x, x.NNZ(), rng)
+		if err != nil {
+			return err
+		}
 		batch := append(append([]tensor.Entry{}, x.Entries()...), negs...)
 		rng.Shuffle(len(batch), func(a, b int) { batch[a], batch[b] = batch[b], batch[a] })
 		for s, e := range batch {

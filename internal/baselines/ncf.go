@@ -65,7 +65,10 @@ func (n *NCF) Fit(ctx *Context) error {
 		n.embMLP[0], n.embMLP[1], n.embMLP[2], n.mlp, n.fuse,
 	}
 	for epoch := 0; epoch < epochs; epoch++ {
-		negs := core.SampleNegatives(x, x.NNZ(), rng)
+		negs, err := core.SampleNegatives(x, x.NNZ(), rng)
+		if err != nil {
+			return err
+		}
 		batch := make([]tensor.Entry, 0, 2*x.NNZ())
 		batch = append(batch, x.Entries()...)
 		batch = append(batch, negs...)
@@ -189,7 +192,10 @@ func (n *NTM) Fit(ctx *Context) error {
 	}
 	layers := []nn.Layer{n.emb[0], n.emb[1], n.emb[2], n.mlp, n.w}
 	for epoch := 0; epoch < epochs; epoch++ {
-		negs := core.SampleNegatives(x, x.NNZ(), rng)
+		negs, err := core.SampleNegatives(x, x.NNZ(), rng)
+		if err != nil {
+			return err
+		}
 		batch := append(append([]tensor.Entry{}, x.Entries()...), negs...)
 		rng.Shuffle(len(batch), func(a, b int) { batch[a], batch[b] = batch[b], batch[a] })
 		for s, e := range batch {

@@ -3,10 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 
 	"tcss/internal/geo"
+	"tcss/internal/mat"
+	"tcss/internal/par"
 )
 
 // GeneralizedMean computes M_α[x₁..x_n] = ((1/n)·Σ xᵢ^α)^(1/α), the smooth
@@ -54,8 +55,19 @@ type Hausdorff struct {
 	Alpha      float64   // smooth-minimum exponent, paper default −1
 	Epsilon    float64   // division guard, paper default 1e-6
 
-	minDCache map[int][]float64
-	mu        sync.Mutex
+	// Per-user min-distance cache. minDOnce[i] guards minD[i], so concurrent
+	// workers hitting different users never contend on a shared lock (the
+	// global-mutex map this replaces serialized the whole user-parallel loop
+	// on its first epoch). cacheInit sizes both slices on first use.
+	cacheInit sync.Once
+	minD      [][]float64
+	minDOnce  []sync.Once
+
+	// dnorm caches dn[j'·N+j] = d(j,j')/d_max − 1, the shifted normalized
+	// distances term 2 consumes: f_j = p_j·dn + 1 is one multiply-add, and
+	// ∂f_j/∂p_j = dn needs no recomputation in the gradient pass.
+	dnormOnce sync.Once
+	dnorm     []float64
 }
 
 // NewHausdorff builds the loss head with the paper's default α = −1 and
@@ -67,7 +79,6 @@ func NewHausdorff(dist *geo.DistanceMatrix, entropyW []float64, friendPOIs [][]i
 	return &Hausdorff{
 		Dist: dist, EntropyW: entropyW, FriendPOIs: friendPOIs,
 		Alpha: -1, Epsilon: 1e-6,
-		minDCache: make(map[int][]float64),
 	}
 }
 
@@ -79,30 +90,43 @@ func (h *Hausdorff) entropy(j int) float64 {
 }
 
 // minDistances returns, for user i, min_{j'∈N(v_i)} d(j, j')/d_max for every
-// POI j. The result is cached: it depends only on the fixed friend sets.
+// POI j. The result is computed once per user under a per-user sync.Once (it
+// depends only on the fixed friend sets) and shared by all workers.
 func (h *Hausdorff) minDistances(i int) []float64 {
-	h.mu.Lock()
-	if cached, ok := h.minDCache[i]; ok {
-		h.mu.Unlock()
-		return cached
-	}
-	h.mu.Unlock()
-	n := h.FriendPOIs[i]
-	inv := h.invDMax()
-	out := make([]float64, h.Dist.N)
-	for j := range out {
-		best := math.Inf(1)
-		for _, jp := range n {
-			if d := h.Dist.At(j, jp); d < best {
-				best = d
+	h.cacheInit.Do(func() {
+		h.minD = make([][]float64, len(h.FriendPOIs))
+		h.minDOnce = make([]sync.Once, len(h.FriendPOIs))
+	})
+	h.minDOnce[i].Do(func() {
+		n := h.FriendPOIs[i]
+		inv := h.invDMax()
+		out := make([]float64, h.Dist.N)
+		for j := range out {
+			best := math.Inf(1)
+			for _, jp := range n {
+				if d := h.Dist.At(j, jp); d < best {
+					best = d
+				}
 			}
+			out[j] = best * inv
 		}
-		out[j] = best * inv
-	}
-	h.mu.Lock()
-	h.minDCache[i] = out
-	h.mu.Unlock()
-	return out
+		h.minD[i] = out
+	})
+	return h.minD[i]
+}
+
+// normDist returns the cached shifted normalized distance matrix
+// dn[j'·N+j] = d(j,j')/d_max − 1 ∈ [−1, 0], computed once per head.
+func (h *Hausdorff) normDist() []float64 {
+	h.dnormOnce.Do(func() {
+		inv := h.invDMax()
+		dn := make([]float64, len(h.Dist.D))
+		for idx, d := range h.Dist.D {
+			dn[idx] = d*inv - 1
+		}
+		h.dnorm = dn
+	})
+	return h.dnorm
 }
 
 // invDMax returns the normalization factor 1/d_max (1 when all POIs are
@@ -114,64 +138,95 @@ func (h *Hausdorff) invDMax() float64 {
 	return 1 / h.Dist.DMax
 }
 
+// hausdorffScratch holds every per-user work buffer of userLoss so a worker
+// can sweep its whole user shard without allocating. Sized for one (J, K, r)
+// model shape.
+type hausdorffScratch struct {
+	xhat  []float64 // J*K raw predictions, slab layout [j*K+k]
+	dpdx  []float64 // J*K ∂p_j/∂x̂_k partial products
+	p     []float64 // J visit probabilities
+	f     []float64 // J term-2 operands
+	finv  []float64 // J reciprocals 1/f_j (harmonic fast path)
+	dLdp  []float64 // J loss-probability gradients
+	slab  []float64 // 2r slab-kernel scratch
+	prefs []float64 // 2(K+1): prefix and suffix no-visit products
+	gRow  []float64   // r accumulator for one chain-rule row G[j] = Σ_k C[j][k]·U3[k]
+	hk    *mat.Matrix // K×r chain-rule factor H = Cᵀ·U2
+	q     []float64   // r column sums Σ_j U2[j]⊙G[j]
+}
+
+func newHausdorffScratch(m *Model) *hausdorffScratch {
+	J, K, r := m.J, m.K, m.Rank
+	return &hausdorffScratch{
+		xhat:  make([]float64, J*K),
+		dpdx:  make([]float64, J*K),
+		p:     make([]float64, J),
+		f:     make([]float64, J),
+		finv:  make([]float64, J),
+		dLdp:  make([]float64, J),
+		slab:  make([]float64, 2*r),
+		prefs: make([]float64, 2*(K+1)),
+		gRow:  make([]float64, r),
+		hk:    mat.New(K, r),
+		q:     make([]float64, r),
+	}
+}
+
 // UserLoss computes d_WH(S(v_i), N(v_i)) of Eq (12) for one user and, when
 // grads is non-nil, accumulates its gradient with respect to every model
-// parameter. Users without friend-visited POIs contribute zero.
+// parameter. Users without friend-visited POIs contribute zero. It allocates
+// a fresh scratch; epoch loops go through Loss, which reuses one scratch per
+// worker.
 func (h *Hausdorff) UserLoss(m *Model, i int, grads *Grads) float64 {
+	return h.userLoss(m, i, grads, newHausdorffScratch(m))
+}
+
+func (h *Hausdorff) userLoss(m *Model, i int, grads *Grads, sc *hausdorffScratch) float64 {
 	friendSet := h.FriendPOIs[i]
 	if len(friendSet) == 0 {
 		return 0
 	}
-	J, K, r := m.J, m.K, m.Rank
-	// Normalized geometry: distances divided by d_max, far-POI penalty 1.
-	invDMax := h.invDMax()
-	const dMax = 1.0
+	J, K := m.J, m.K
 	// Guard so f_j^α is finite even when a POI coincides with a friend POI
 	// and p→1 (distance 0).
 	const fMin = 1e-4
 
-	// Step 1: visit probabilities p_j and the per-(j,k) partial products
-	// needed for ∂p_j/∂X̂[i,j,k] = Π_{k'≠k}(1−X̂[i,j,k']).
-	p := make([]float64, J)
-	// dpdx[j*K+k] holds ∂p_j/∂x̂_k (zero where the clamp saturates).
-	dpdx := make([]float64, J*K)
-	xhat := make([]float64, J*K)
-	vt := make([]float64, r)
-	prefix := make([]float64, K+1)
-	suffix := make([]float64, K+1)
-	u1row := m.U1.Row(i)
+	// Step 1: the full J×K prediction slice via the slab GEMM kernel, then
+	// visit probabilities p_j = 1 − Π_k (1−x̂) and the per-(j,k) partial
+	// products ∂p_j/∂X̂[i,j,k] = Π_{k'≠k}(1−X̂[i,j,k']).
+	xhat, dpdx, p := sc.xhat, sc.dpdx, sc.p
+	m.ScoreSlabScratch(i, xhat, sc.slab)
+	prefix := sc.prefs[:K+1]
+	oneMinus := sc.prefs[K+1 : K+1+K] // cached 1−clamp01(x̂) per k
 	for j := 0; j < J; j++ {
-		u2row := m.U2.Row(j)
-		for t := 0; t < r; t++ {
-			vt[t] = m.H[t] * u1row[t] * u2row[t]
-		}
+		row := xhat[j*K : (j+1)*K]
 		prefix[0] = 1
-		for k := 0; k < K; k++ {
-			x := 0.0
-			u3row := m.U3.Row(k)
-			for t := 0; t < r; t++ {
-				x += vt[t] * u3row[t]
-			}
-			xhat[j*K+k] = x
-			prefix[k+1] = prefix[k] * (1 - clamp01(x))
-		}
-		suffix[K] = 1
-		for k := K - 1; k >= 0; k-- {
-			suffix[k] = suffix[k+1] * (1 - clamp01(xhat[j*K+k]))
+		for k, x := range row {
+			om := 1 - clamp01(x)
+			oneMinus[k] = om
+			prefix[k+1] = prefix[k] * om
 		}
 		p[j] = 1 - prefix[K]
-		for k := 0; k < K; k++ {
-			x := xhat[j*K+k]
+		// ∂p_j/∂x̂_k = prefix[k]·suffix[k+1]; build the suffix product on the
+		// fly right-to-left so no second clamp pass is needed.
+		drow := dpdx[j*K : (j+1)*K]
+		suf := 1.0
+		for k := K - 1; k >= 0; k-- {
+			x := row[k]
 			if x <= 0 || x >= 1-1e-9 {
-				dpdx[j*K+k] = 0 // clamp saturated: no gradient
+				drow[k] = 0 // clamp saturated: no gradient
 			} else {
-				dpdx[j*K+k] = prefix[k] * suffix[k+1]
+				drow[k] = prefix[k] * suf
 			}
+			suf *= oneMinus[k]
 		}
 	}
 
 	minD := h.minDistances(i)
-	dLdp := make([]float64, J)
+	dLdp := sc.dLdp
+	for j := range dLdp {
+		dLdp[j] = 0
+	}
 
 	// Term 1: (1/(A+ε)) Σ_j p_j·e_j·minD_j.
 	var sumA, sumB float64
@@ -193,19 +248,39 @@ func (h *Hausdorff) UserLoss(m *Model, i int, grads *Grads) float64 {
 	alpha := h.Alpha
 	harmonic := alpha == -1 // the paper default; avoids math.Pow in the hot loop
 	invN := 1 / float64(len(friendSet))
-	f := make([]float64, J)
+	f, finv := sc.f[:J], sc.finv[:J]
+	// With the shifted normalized distances dn = d/d_max − 1 the factor
+	// f_j = p_j·d'(j,jp) + (1−p_j)·d_max collapses to p_j·dn + 1: one
+	// multiply-add per (friend, POI) pair, and ∂f_j/∂p_j = dn falls out of the
+	// same cached row in the gradient pass.
+	dnorm := h.normDist()
 	for _, jp := range friendSet {
 		var s float64
-		drow := h.Dist.D[jp*h.Dist.N:]
-		for j := 0; j < J; j++ {
-			fj := p[j]*drow[j]*invDMax + (1-p[j])*dMax
-			if fj < fMin {
-				fj = fMin
+		dnrow := dnorm[jp*h.Dist.N : jp*h.Dist.N+J]
+		if harmonic {
+			// Cache each reciprocal: the gradient pass needs 1/f_j² and a
+			// multiply by the stored reciprocal replaces a second division,
+			// the dominant instruction of this loop. Clamped entries store a
+			// zero reciprocal so the gradient loop below is branch-free (a
+			// clamp has zero gradient, and 0² · dn contributes exactly that).
+			for j := 0; j < J; j++ {
+				fj := p[j]*dnrow[j] + 1
+				if fj < fMin {
+					s += 1 / fMin
+					finv[j] = 0
+					continue
+				}
+				inv := 1 / fj
+				finv[j] = inv
+				s += inv
 			}
-			f[j] = fj
-			if harmonic {
-				s += 1 / fj
-			} else {
+		} else {
+			for j := 0; j < J; j++ {
+				fj := p[j]*dnrow[j] + 1
+				if fj < fMin {
+					fj = fMin
+				}
+				f[j] = fj
 				s += math.Pow(fj, alpha)
 			}
 		}
@@ -220,37 +295,94 @@ func (h *Hausdorff) UserLoss(m *Model, i int, grads *Grads) float64 {
 		loss += w * mVal
 		if grads != nil {
 			// ∂M/∂f_j = mean^(1/α−1) · f_j^(α−1) / J.
-			var base float64
 			if harmonic {
-				base = 1 / (mean * mean * float64(J))
+				wb := w / (mean * mean * float64(J))
+				dl := dLdp[:J]
+				dn := dnrow[:J]
+				for j, iv := range finv {
+					dl[j] += wb * iv * iv * dn[j]
+				}
 			} else {
-				base = math.Pow(mean, 1/alpha-1) / float64(J)
-			}
-			for j := 0; j < J; j++ {
-				if f[j] <= fMin {
-					continue // clamped: no gradient
+				base := math.Pow(mean, 1/alpha-1) / float64(J)
+				for j := 0; j < J; j++ {
+					if f[j] <= fMin {
+						continue // clamped: no gradient
+					}
+					dLdp[j] += w * base * math.Pow(f[j], alpha-1) * dnrow[j]
 				}
-				var dMdf float64
-				if harmonic {
-					dMdf = base / (f[j] * f[j])
-				} else {
-					dMdf = base * math.Pow(f[j], alpha-1)
-				}
-				dLdp[j] += w * dMdf * (drow[j]*invDMax - dMax)
 			}
 		}
 	}
 
-	// Chain rule: dL/dX̂[i,j,k] = dL/dp_j · ∂p_j/∂x̂, then into parameters.
+	// Chain rule: C[j][k] = dL/dX̂[i,j,k] = dL/dp_j · ∂p_j/∂x̂. Instead of a
+	// scalar accumEntryGrad per (j,k) cell — which profiles as >60% of the
+	// whole head — contract C once against each factor:
+	//
+	//	G[j] = Σ_k C[j][k]·U3[k]: ∂L/∂U2[j] = (h ⊙ U1ᵢ) ⊙ G[j]
+	//	H = Cᵀ·U2 (K×r):          ∂L/∂U3[k] = (h ⊙ U1ᵢ) ⊙ H[k]
+	//	q = Σ_j U2[j]⊙G[j]:       ∂L/∂U1[i] = h ⊙ q,  ∂L/∂h = U1ᵢ ⊙ q
+	//
+	// which is O(J·K·r) total in one tight GEMM-style pass over C rather than
+	// J·K bounds-checked row scatters: for each (j,k) with a nonzero
+	// coefficient, one fused inner loop extends both the G[j] accumulator
+	// (axpy over U3[k]) and H[k] (axpy over U2[j]), so C is swept exactly once
+	// and never materialized. G rows are consumed immediately (DU2 and q
+	// updates), so only an r-length accumulator is held.
 	if grads != nil {
+		r := m.Rank
+		u1row := m.U1.Row(i)
+		q := sc.q
+		for t := range q {
+			q[t] = 0
+		}
+		grow := sc.gRow // accumulator for G[j] = Σ_k C[j][k]·U3[k]
+		sc.hk.Fill(0)
+		hkd := sc.hk.Data
+		du2 := grads.DU2
 		for j := 0; j < J; j++ {
-			if dLdp[j] == 0 {
+			d := dLdp[j]
+			if d == 0 {
 				continue
 			}
-			for k := 0; k < K; k++ {
-				if c := dLdp[j] * dpdx[j*K+k]; c != 0 {
-					m.accumEntryGrad(grads, i, j, k, c)
+			crow := dpdx[j*K : (j+1)*K]
+			u2row := m.U2.Row(j)
+			for t := range grow {
+				grow[t] = 0
+			}
+			for k, dp := range crow {
+				cv := dp * d
+				if cv == 0 {
+					continue
 				}
+				u3row := m.U3.Row(k)
+				// Reslicing every operand to the range length lets the
+				// compiler drop the three per-element bounds checks in the
+				// fused axpy below.
+				hrow := hkd[k*r : k*r+r][:len(u3row)]
+				g := grow[:len(u3row)]
+				u2 := u2row[:len(u3row)]
+				for t, u := range u3row {
+					g[t] += cv * u
+					hrow[t] += cv * u2[t]
+				}
+			}
+			drow := du2.Row(j)
+			for t := 0; t < r; t++ {
+				drow[t] += m.H[t] * u1row[t] * grow[t]
+				q[t] += u2row[t] * grow[t]
+			}
+		}
+		du1 := grads.DU1.Row(i)
+		for t := 0; t < r; t++ {
+			du1[t] += m.H[t] * q[t]
+			grads.DH[t] += u1row[t] * q[t]
+		}
+		du3 := grads.DU3
+		for k := 0; k < K; k++ {
+			hrow := hkd[k*r : k*r+r]
+			drow := du3.Row(k)
+			for t := 0; t < r; t++ {
+				drow[t] += m.H[t] * u1row[t] * hrow[t]
 			}
 		}
 	}
@@ -259,44 +391,53 @@ func (h *Hausdorff) UserLoss(m *Model, i int, grads *Grads) float64 {
 
 // Loss computes the social Hausdorff head L1 = Σ_v d_WH (Eq 13) over the
 // given users (pass all users for the exact loss, a subsample for a
-// stochastic estimate), parallelized across CPU cores. When grads is non-nil
+// stochastic estimate) with the default worker count. When grads is non-nil
 // the gradient is accumulated into it.
 func (h *Hausdorff) Loss(m *Model, users []int, grads *Grads) float64 {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(users) {
-		workers = len(users)
+	return h.LossWorkers(m, users, grads, 0)
+}
+
+// LossWorkers is Loss with an explicit worker count (<= 0 selects
+// par.DefaultWorkers). Users are split into contiguous shards; each worker
+// reuses one scratch and, when grads is non-nil, accumulates into a private
+// gradient shard. Shard losses and gradients are combined in ascending shard
+// order, so the result is run-to-run reproducible at a fixed worker count
+// and bit-for-bit equal to the serial loop at workers = 1.
+func (h *Hausdorff) LossWorkers(m *Model, users []int, grads *Grads, workers int) float64 {
+	n := len(users)
+	if n == 0 {
+		return 0
 	}
-	if workers <= 1 {
+	w := par.Clamp(workers, n)
+	if w <= 1 {
+		sc := newHausdorffScratch(m)
 		var total float64
 		for _, i := range users {
-			total += h.UserLoss(m, i, grads)
+			total += h.userLoss(m, i, grads, sc)
 		}
 		return total
 	}
-	var wg sync.WaitGroup
-	losses := make([]float64, workers)
-	partials := make([]*Grads, workers)
-	for w := 0; w < workers; w++ {
+	type shardResult struct {
+		loss  float64
+		grads *Grads
+	}
+	var total float64
+	par.Reduce(n, w, func(s par.Shard) shardResult {
 		var g *Grads
 		if grads != nil {
 			g = NewGrads(m)
 		}
-		partials[w] = g
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for idx := w; idx < len(users); idx += workers {
-				losses[w] += h.UserLoss(m, users[idx], partials[w])
-			}
-		}(w)
-	}
-	wg.Wait()
-	var total float64
-	for w := 0; w < workers; w++ {
-		total += losses[w]
-		if grads != nil {
-			grads.Add(partials[w])
+		sc := newHausdorffScratch(m)
+		var loss float64
+		for _, i := range users[s.Start:s.End] {
+			loss += h.userLoss(m, i, g, sc)
 		}
-	}
+		return shardResult{loss: loss, grads: g}
+	}, func(r shardResult) {
+		total += r.loss
+		if grads != nil {
+			grads.Add(r.grads)
+		}
+	})
 	return total
 }

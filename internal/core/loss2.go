@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
 	"tcss/internal/mat"
+	"tcss/internal/par"
 	"tcss/internal/tensor"
 )
 
@@ -51,9 +53,60 @@ func (g *Grads) Add(other *Grads) {
 // O(I·J·K·r). If grads is non-nil the full gradient is accumulated into it.
 //
 // The returned value includes the constant Σ_{Ω₊} w₊·X² term that Eq (15)
-// drops, so it is numerically identical to the naive Eq (14) evaluation (the
-// equivalence Remark 1 proves); tests rely on this.
+// drops, so it matches the naive Eq (14) evaluation (the equivalence Remark 1
+// proves); tests rely on this. It delegates to WholeDataLossWorkers with the
+// default worker count.
 func (m *Model) WholeDataLoss(x *tensor.COO, wPos, wNeg float64, grads *Grads) float64 {
+	return m.WholeDataLossWorkers(x, wPos, wNeg, grads, 0)
+}
+
+// lossOverEntries sums fn over the entries, parallelized across contiguous
+// shards (tensor.ShardEntries). Each worker accumulates into a private
+// gradient shard; shard losses and gradients merge in ascending shard order,
+// so the result is reproducible at a fixed worker count and bit-for-bit equal
+// to the plain serial loop at workers <= 1.
+func (m *Model) lossOverEntries(entries []tensor.Entry, grads *Grads, workers int, fn func(e tensor.Entry, g *Grads) float64) float64 {
+	n := len(entries)
+	if n == 0 {
+		return 0
+	}
+	w := par.Clamp(workers, n)
+	if w <= 1 {
+		var loss float64
+		for _, e := range entries {
+			loss += fn(e, grads)
+		}
+		return loss
+	}
+	shards := tensor.ShardEntries(entries, w)
+	type shardResult struct {
+		loss  float64
+		grads *Grads
+	}
+	var total float64
+	par.Reduce(len(shards), len(shards), func(s par.Shard) shardResult {
+		var g *Grads
+		if grads != nil {
+			g = NewGrads(m)
+		}
+		var loss float64
+		for _, e := range shards[s.Index] {
+			loss += fn(e, g)
+		}
+		return shardResult{loss: loss, grads: g}
+	}, func(sr shardResult) {
+		total += sr.loss
+		if grads != nil {
+			grads.Add(sr.grads)
+		}
+	})
+	return total
+}
+
+// WholeDataLossWorkers is WholeDataLoss with an explicit worker count for the
+// positive-entry correction loop (<= 0 selects par.DefaultWorkers). The
+// whole-tensor Gram term is O((I+J+K)·r²) and stays serial.
+func (m *Model) WholeDataLossWorkers(x *tensor.COO, wPos, wNeg float64, grads *Grads, workers int) float64 {
 	r := m.Rank
 	// Gram matrices of the factors: G1 = U1ᵀU1 (r×r), etc.
 	g1 := m.U1.Gram()
@@ -71,14 +124,14 @@ func (m *Model) WholeDataLoss(x *tensor.COO, wPos, wNeg float64, grads *Grads) f
 
 	// Positive-entry corrections: (w₊−w₋)·X̂² − 2·w₊·X·X̂ + w₊·X²
 	// (the last term restores the constant Eq (15) omits).
-	for _, e := range x.Entries() {
+	loss += m.lossOverEntries(x.Entries(), grads, workers, func(e tensor.Entry, g *Grads) float64 {
 		pred := m.Predict(e.I, e.J, e.K)
-		loss += (wPos-wNeg)*pred*pred - 2*wPos*e.Val*pred + wPos*e.Val*e.Val
-		if grads != nil {
+		if g != nil {
 			coeff := 2 * ((wPos-wNeg)*pred - wPos*e.Val)
-			m.accumEntryGrad(grads, e.I, e.J, e.K, coeff)
+			m.accumEntryGrad(g, e.I, e.J, e.K, coeff)
 		}
-	}
+		return (wPos-wNeg)*pred*pred - 2*wPos*e.Val*pred + wPos*e.Val*e.Val
+	})
 
 	if grads != nil {
 		// Gradient of the whole-data term:
@@ -143,42 +196,61 @@ func (m *Model) NaiveWholeDataLoss(x *tensor.COO, wPos, wNeg float64, grads *Gra
 }
 
 // SampleNegatives draws n cells uniformly at random from the unobserved part
-// of x (rejection sampling; the tensor must not be full). The Negative
-// Sampling ablation row of Table II and the Table IV timing use it.
-func SampleNegatives(x *tensor.COO, n int, rng *rand.Rand) []tensor.Entry {
-	if int64(x.NNZ()) >= x.Size() {
-		panic("core: cannot sample negatives from a full tensor")
+// of x by rejection sampling. The Negative Sampling ablation row of Table II
+// and the Table IV timing use it. The rejection loop is bounded: after
+// 50·n + 1000 attempts (enough for tensors up to ~98% dense with high
+// probability) it returns a descriptive error instead of spinning, as it also
+// does immediately for a full tensor.
+func SampleNegatives(x *tensor.COO, n int, rng *rand.Rand) ([]tensor.Entry, error) {
+	if n <= 0 {
+		return nil, nil
 	}
+	if int64(x.NNZ()) >= x.Size() {
+		return nil, fmt.Errorf("core: cannot sample %d negatives: tensor %dx%dx%d is full", n, x.DimI, x.DimJ, x.DimK)
+	}
+	maxAttempts := 50*n + 1000
 	out := make([]tensor.Entry, 0, n)
-	for len(out) < n {
+	for attempts := 0; len(out) < n; attempts++ {
+		if attempts >= maxAttempts {
+			return nil, fmt.Errorf("core: sampled only %d of %d negatives after %d attempts (density %.4f): tensor too dense for rejection sampling",
+				len(out), n, attempts, x.Density())
+		}
 		i, j, k := rng.Intn(x.DimI), rng.Intn(x.DimJ), rng.Intn(x.DimK)
 		if !x.Has(i, j, k) {
 			out = append(out, tensor.Entry{I: i, J: j, K: k, Val: 0})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // NegSamplingLoss is the ablation counterpart of WholeDataLoss: the weighted
 // squared error over the observed entries plus the given sampled negatives
-// only (the strategy of NCF), with optional gradient accumulation.
+// only (the strategy of NCF), with optional gradient accumulation. It
+// delegates to NegSamplingLossWorkers with the default worker count.
 func (m *Model) NegSamplingLoss(x *tensor.COO, negatives []tensor.Entry, wPos, wNeg float64, grads *Grads) float64 {
-	var loss float64
-	for _, e := range x.Entries() {
+	return m.NegSamplingLossWorkers(x, negatives, wPos, wNeg, grads, 0)
+}
+
+// NegSamplingLossWorkers is NegSamplingLoss with an explicit worker count
+// (<= 0 selects par.DefaultWorkers). The positive and negative sweeps are each
+// sharded with deterministic in-order reduction, so the result is bit-for-bit
+// equal to the serial loops at workers = 1.
+func (m *Model) NegSamplingLossWorkers(x *tensor.COO, negatives []tensor.Entry, wPos, wNeg float64, grads *Grads, workers int) float64 {
+	loss := m.lossOverEntries(x.Entries(), grads, workers, func(e tensor.Entry, g *Grads) float64 {
 		pred := m.Predict(e.I, e.J, e.K)
 		diff := pred - e.Val
-		loss += wPos * diff * diff
-		if grads != nil {
-			m.accumEntryGrad(grads, e.I, e.J, e.K, 2*wPos*diff)
+		if g != nil {
+			m.accumEntryGrad(g, e.I, e.J, e.K, 2*wPos*diff)
 		}
-	}
-	for _, e := range negatives {
+		return wPos * diff * diff
+	})
+	loss += m.lossOverEntries(negatives, grads, workers, func(e tensor.Entry, g *Grads) float64 {
 		pred := m.Predict(e.I, e.J, e.K)
-		loss += wNeg * pred * pred
-		if grads != nil {
-			m.accumEntryGrad(grads, e.I, e.J, e.K, 2*wNeg*pred)
+		if g != nil {
+			m.accumEntryGrad(g, e.I, e.J, e.K, 2*wNeg*pred)
 		}
-	}
+		return wNeg * pred * pred
+	})
 	return loss
 }
 
@@ -198,13 +270,18 @@ func (m *Model) PositiveRMSE(x *tensor.COO) float64 {
 }
 
 // NegativeRMSE samples n unobserved cells with rng and reports the RMSE of
-// predicting them against 0.
+// predicting them against 0, or NaN when the tensor is too dense to sample
+// (see SampleNegatives).
 func (m *Model) NegativeRMSE(x *tensor.COO, n int, rng *rand.Rand) float64 {
 	if n <= 0 {
 		return 0
 	}
+	negs, err := SampleNegatives(x, n, rng)
+	if err != nil {
+		return math.NaN()
+	}
 	var s float64
-	for _, e := range SampleNegatives(x, n, rng) {
+	for _, e := range negs {
 		d := m.Predict(e.I, e.J, e.K)
 		s += d * d
 	}

@@ -120,7 +120,10 @@ func TestNegSamplingLossNumericalGrad(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	m := randomModel(3, 4, 2, 2, rng)
 	x := randomBinaryCOO(3, 4, 2, 5, rng)
-	negs := SampleNegatives(x, 5, rng)
+	negs, err := SampleNegatives(x, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	loss := func() float64 { return m.NegSamplingLoss(x, negs, 0.9, 0.1, nil) }
 	grads := NewGrads(m)
 	m.NegSamplingLoss(x, negs, 0.9, 0.1, grads)
@@ -142,7 +145,10 @@ func TestNegSamplingLossNumericalGrad(t *testing.T) {
 func TestSampleNegativesAvoidsPositives(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	x := randomBinaryCOO(4, 4, 2, 10, rng)
-	negs := SampleNegatives(x, 50, rng)
+	negs, err := SampleNegatives(x, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(negs) != 50 {
 		t.Fatalf("got %d negatives, want 50", len(negs))
 	}

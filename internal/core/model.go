@@ -78,6 +78,56 @@ func (m *Model) Score(i, j, k int) float64 {
 	return m.Predict(i, j, k)
 }
 
+// ScoreSlab fills out (length J·K, laid out as out[j*K+k]) with the raw
+// prediction slice X̂[i,·,·] of Eq (6), computed as the dense slab product
+// U2 · diag(h ⊙ U1ᵢ) · U3ᵀ instead of J·K scalar Predict calls. It allocates
+// a small rank-sized scratch; hot loops that score many users should use
+// ScoreSlabScratch with a reused buffer. The kernel's four-way accumulation
+// regroups additions, so entries match Predict to O(machine epsilon), not
+// bit-for-bit.
+func (m *Model) ScoreSlab(i int, out []float64) {
+	m.ScoreSlabScratch(i, out, make([]float64, 2*m.Rank))
+}
+
+// ScoreSlabScratch is ScoreSlab with a caller-owned scratch buffer of length
+// at least 2·Rank, enabling allocation-free per-worker scoring.
+func (m *Model) ScoreSlabScratch(i int, out, scratch []float64) {
+	if len(out) != m.J*m.K {
+		panic(fmt.Sprintf("core: ScoreSlab out length %d, want %d", len(out), m.J*m.K))
+	}
+	if len(scratch) < 2*m.Rank {
+		panic(fmt.Sprintf("core: ScoreSlab scratch length %d, want >= %d", len(scratch), 2*m.Rank))
+	}
+	w := scratch[:m.Rank]
+	mat.HadamardInto(w, m.H, m.U1.Row(i))
+	mat.MulDiagTSlice(out, m.U2, w, m.U3, scratch[m.Rank:2*m.Rank])
+}
+
+// ScoreCandidates scores the candidate POIs js at a fixed (user, time) pair,
+// writing Score(i, js[n], k) into out[n]. Factoring w = h ⊙ U1ᵢ ⊙ U3ₖ out of
+// the candidate loop makes each candidate a single rank-length inner product
+// — a third of Predict's multiplies — which is the hot kernel of the ranking
+// protocol (100 negatives per held-out entry). The zero-out filter applies
+// exactly as in Score.
+func (m *Model) ScoreCandidates(i, k int, js []int, out []float64) {
+	if len(out) < len(js) {
+		panic(fmt.Sprintf("core: ScoreCandidates out length %d for %d candidates", len(out), len(js)))
+	}
+	w := make([]float64, m.Rank)
+	u1, u3 := m.U1.Row(i), m.U3.Row(k)
+	for t := range w {
+		w[t] = m.H[t] * u1[t] * u3[t]
+	}
+	filter := m.ZeroOutFilter
+	for n, j := range js {
+		if filter != nil && !filter[i][j] {
+			out[n] = math.Inf(-1)
+			continue
+		}
+		out[n] = mat.DotUnrolled(w, m.U2.Row(j))
+	}
+}
+
 // clamp01 limits v to [0, 1-eps] so the no-visit probability product in the
 // Hausdorff head stays in (0, 1]. Values outside the bounds have zero
 // gradient through the clamp.

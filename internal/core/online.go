@@ -79,7 +79,11 @@ func (m *Model) UpdateOnline(x *tensor.COO, newEntries []tensor.Entry, side *Sid
 		}
 		// Sampled negatives keep the update from inflating everything.
 		n := int(cfg.NegPerNew * float64(len(fresh)))
-		for _, e := range SampleNegatives(x, n, rng) {
+		negs, err := SampleNegatives(x, n, rng)
+		if err != nil {
+			return 0, err
+		}
+		for _, e := range negs {
 			pred := m.Predict(e.I, e.J, e.K)
 			m.accumEntryGrad(grads, e.I, e.J, e.K, 2*cfg.WNeg*pred)
 		}

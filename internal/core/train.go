@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"tcss/internal/opt"
+	"tcss/internal/par"
 	"tcss/internal/tensor"
 )
 
@@ -84,6 +85,13 @@ type Config struct {
 	// (see internal/opt); nil keeps the rate constant, the paper's setting.
 	LRSchedule opt.Schedule
 
+	// Workers bounds the goroutines used by the parallel loss kernels and the
+	// zero-out filter build (0 = par.DefaultWorkers, i.e. GOMAXPROCS).
+	// Results are reproducible for a fixed value and bit-for-bit identical to
+	// the serial loops at Workers = 1; other counts only regroup
+	// floating-point reductions (shards always merge in ascending order).
+	Workers int
+
 	Seed int64
 
 	// EpochCallback, when non-nil, is invoked after every epoch with the
@@ -143,6 +151,9 @@ func (c Config) Validate() error {
 	}
 	if c.NegSampling && c.NegPerPos <= 0 {
 		return fmt.Errorf("core: NegPerPos must be positive with NegSampling, got %g", c.NegPerPos)
+	}
+	if err := par.Validate(c.Workers); err != nil {
+		return err
 	}
 	return nil
 }
@@ -210,10 +221,13 @@ func Train(x *tensor.COO, side *SideInfo, cfg Config) (*Model, error) {
 		var l2 float64
 		if cfg.NegSampling {
 			n := int(cfg.NegPerPos * float64(x.NNZ()))
-			negs := SampleNegatives(x, n, rng)
-			l2 = m.NegSamplingLoss(x, negs, cfg.WPos, cfg.WNeg, grads)
+			negs, err := SampleNegatives(x, n, rng)
+			if err != nil {
+				return nil, err
+			}
+			l2 = m.NegSamplingLossWorkers(x, negs, cfg.WPos, cfg.WNeg, grads, cfg.Workers)
 		} else {
-			l2 = m.WholeDataLoss(x, cfg.WPos, cfg.WNeg, grads)
+			l2 = m.WholeDataLossWorkers(x, cfg.WPos, cfg.WNeg, grads, cfg.Workers)
 		}
 
 		var l1 float64
@@ -225,7 +239,7 @@ func Train(x *tensor.COO, side *SideInfo, cfg Config) (*Model, error) {
 				users = rng.Perm(m.I)[:cfg.UsersPerEpoch]
 				scale = float64(m.I) / float64(cfg.UsersPerEpoch)
 			}
-			l1 = head.Loss(m, users, headGrads) * scale
+			l1 = head.LossWorkers(m, users, headGrads, cfg.Workers) * scale
 			w := cfg.Lambda * scale
 			grads.DU1.AddInPlace(headGrads.DU1.Scale(w))
 			grads.DU2.AddInPlace(headGrads.DU2.Scale(w))
@@ -249,31 +263,35 @@ func Train(x *tensor.COO, side *SideInfo, cfg Config) (*Model, error) {
 	}
 
 	if cfg.Variant == ZeroOut {
-		m.ZeroOutFilter = buildZeroOutFilter(m, side, cfg.ZeroOutSigmaFrac)
+		m.ZeroOutFilter = buildZeroOutFilter(m, side, cfg.ZeroOutSigmaFrac, cfg.Workers)
 	}
 	return m, nil
 }
 
 // buildZeroOutFilter marks, per user, the POIs within σ = sigmaFrac·d_max of
 // the user's nearest own visited POI. Users with no training visits keep all
-// POIs (an empty reference set gives the variant nothing to filter on).
-func buildZeroOutFilter(m *Model, side *SideInfo, sigmaFrac float64) [][]bool {
+// POIs (an empty reference set gives the variant nothing to filter on). User
+// rows are independent, so the build parallelizes over user shards with a
+// bit-for-bit identical result at any worker count.
+func buildZeroOutFilter(m *Model, side *SideInfo, sigmaFrac float64, workers int) [][]bool {
 	sigma := sigmaFrac * side.Dist.DMax
 	filter := make([][]bool, m.I)
-	for i := 0; i < m.I; i++ {
-		row := make([]bool, m.J)
-		own := side.OwnPOIs[i]
-		if len(own) == 0 {
-			for j := range row {
-				row[j] = true
+	par.Do(m.I, par.Clamp(workers, m.I), func(s par.Shard) {
+		for i := s.Start; i < s.End; i++ {
+			row := make([]bool, m.J)
+			own := side.OwnPOIs[i]
+			if len(own) == 0 {
+				for j := range row {
+					row[j] = true
+				}
+			} else {
+				for j := 0; j < m.J; j++ {
+					_, d := side.Dist.Nearest(j, own)
+					row[j] = d <= sigma
+				}
 			}
-		} else {
-			for j := 0; j < m.J; j++ {
-				_, d := side.Dist.Nearest(j, own)
-				row[j] = d <= sigma
-			}
+			filter[i] = row
 		}
-		filter[i] = row
-	}
+	})
 	return filter
 }

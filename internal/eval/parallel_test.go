@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"testing"
+
+	"tcss/internal/tensor"
+)
+
+// hashScorer gives every (i, j, k) a distinct deterministic score without any
+// model machinery; batchable via ScoreCandidates to exercise the fast path.
+type hashScorer struct{}
+
+func (hashScorer) Score(i, j, k int) float64 {
+	return float64(((i*31+j)*17+k*7)%97) / 97
+}
+
+func (h hashScorer) ScoreCandidates(i, k int, js []int, out []float64) {
+	for n, j := range js {
+		out[n] = h.Score(i, j, k)
+	}
+}
+
+func parallelTestEntries(n int) []tensor.Entry {
+	test := make([]tensor.Entry, n)
+	for idx := range test {
+		test[idx] = tensor.Entry{I: idx % 7, J: (idx * 13) % 50, K: idx % 4, Val: 1}
+	}
+	return test
+}
+
+// TestRankWorkerInvariance asserts the full Result is bit-for-bit identical
+// at every worker count: per-entry RNG streams make the sampled negatives
+// independent of sharding, and aggregation runs serially in test order.
+func TestRankWorkerInvariance(t *testing.T) {
+	test := parallelTestEntries(60)
+	cfg := Config{Negatives: 20, TopK: 5, Seed: 9}
+	ref := RankWorkers(hashScorer{}, test, 50, cfg, 1)
+	for _, w := range []int{2, 3, 8} {
+		got := RankWorkers(hashScorer{}, test, 50, cfg, w)
+		if got != ref {
+			t.Fatalf("workers=%d: %+v != serial %+v", w, got, ref)
+		}
+	}
+}
+
+// TestRankBatchedMatchesUnbatched: wrapping the same scoring function so it
+// no longer satisfies CandidateScorer must not change any metric.
+func TestRankBatchedMatchesUnbatched(t *testing.T) {
+	test := parallelTestEntries(40)
+	cfg := Config{Negatives: 15, TopK: 5, Seed: 4}
+	batched := RankWorkers(hashScorer{}, test, 50, cfg, 4)
+	unbatched := RankWorkers(ScorerFunc(hashScorer{}.Score), test, 50, cfg, 4)
+	if batched != unbatched {
+		t.Fatalf("batched %+v != unbatched %+v", batched, unbatched)
+	}
+}
+
+// TestRankFewerPOIsThanNegatives pins the pool-exhaustion fallback: with only
+// dimJ−1 possible negatives the protocol ranks against all of them once.
+func TestRankFewerPOIsThanNegatives(t *testing.T) {
+	test := []tensor.Entry{{I: 0, J: 0, K: 0, Val: 1}}
+	cfg := Config{Negatives: 100, TopK: 3, Seed: 2}
+	// Perfect scorer: target always wins regardless of pool size.
+	perfect := ScorerFunc(func(i, j, k int) float64 {
+		if j == 0 {
+			return 1
+		}
+		return 0
+	})
+	got := RankWorkers(perfect, test, 4, cfg, 2)
+	if got.HitAtK != 1 || got.MRR != 1 {
+		t.Fatalf("perfect scorer with tiny pool: %+v", got)
+	}
+	// Constant scorer: rank = 1 + 3 distinct negatives = 4, missing TopK 3.
+	constant := ScorerFunc(func(i, j, k int) float64 { return 0.5 })
+	got = RankWorkers(constant, test, 4, cfg, 1)
+	if got.HitAtK != 0 || got.MRR != 0.25 {
+		t.Fatalf("constant scorer with tiny pool: %+v", got)
+	}
+}

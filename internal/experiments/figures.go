@@ -327,7 +327,11 @@ func Fig13(opts Options) (*Table, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	entries := inst.Train.Entries()
 	obs := entries[rng.Intn(len(entries))]
-	neg := core.SampleNegatives(inst.Train, 1, rng)[0]
+	negSample, err := core.SampleNegatives(inst.Train, 1, rng)
+	if err != nil {
+		return nil, err
+	}
+	neg := negSample[0]
 
 	t := &Table{
 		Title: fmt.Sprintf("Figure 13: Score Along Time (observed (%d,%d), negative (%d,%d))",

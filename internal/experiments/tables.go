@@ -155,7 +155,10 @@ func MeasureLossTimings(inst *Instance, rank int, seed int64) LossTiming {
 
 	grads.Zero()
 	start = time.Now()
-	negs := core.SampleNegatives(inst.Train, inst.Train.NNZ(), rng)
+	negs, err := core.SampleNegatives(inst.Train, inst.Train.NNZ(), rng)
+	if err != nil {
+		panic(err) // preset tensors are sparse; cannot fail
+	}
 	m.NegSamplingLoss(inst.Train, negs, 0.99, 0.01, grads)
 	negSample := time.Since(start)
 

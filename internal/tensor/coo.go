@@ -115,6 +115,33 @@ func (t *COO) Density() float64 {
 // mutate the returned slice; use Set/Add instead.
 func (t *COO) Entries() []Entry { return t.entries }
 
+// ShardEntries splits entries into at most n contiguous, non-overlapping
+// sub-slices that cover the input in order, with shard sizes differing by at
+// most one. The sub-slices alias the input — callers must not mutate them —
+// which makes the helper suitable for handing one shard to each worker of a
+// parallel loss loop. n < 1 is treated as 1; an empty input yields no shards.
+func ShardEntries(entries []Entry, n int) [][]Entry {
+	total := len(entries)
+	if total == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > total {
+		n = total
+	}
+	out := make([][]Entry, n)
+	for s := 0; s < n; s++ {
+		out[s] = entries[s*total/n : (s+1)*total/n]
+	}
+	return out
+}
+
+// ShardEntries splits the stored entries into at most n contiguous read-only
+// views; see the package-level ShardEntries.
+func (t *COO) ShardEntries(n int) [][]Entry { return ShardEntries(t.entries, n) }
+
 // Clone returns a deep copy of t.
 func (t *COO) Clone() *COO {
 	out := NewCOO(t.DimI, t.DimJ, t.DimK)
