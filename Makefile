@@ -5,7 +5,7 @@ GO ?= go
 # are much slower and run via `make bench-all`.
 KERNEL_BENCH = 'BenchmarkLoss(Naive|NegSampling|Rewritten)$$|BenchmarkLossRewrittenWorkers|BenchmarkHausdorffLoss|BenchmarkScoreSlab|BenchmarkMulBlocked|BenchmarkRank$$|BenchmarkSpectralInit|BenchmarkTrainEpoch'
 
-.PHONY: build test race vet bench bench-all check
+.PHONY: build test race vet bench bench-all check gradcheck fuzz golden-update
 
 build:
 	$(GO) build ./...
@@ -30,4 +30,23 @@ bench:
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -count=1 .
 
-check: build vet test race
+# The differential correctness harness (internal/check): every loss head, nn
+# layer and gradient-trained baseline swept by the central-difference gradient
+# checker, plus the golden-run trajectory comparisons.
+gradcheck:
+	$(GO) test -run 'Gradcheck|Gradients|Golden' -count=1 ./internal/check ./internal/core ./internal/nn ./internal/baselines
+
+# Short coverage-guided exploration of each fuzz target (the seed corpora
+# already run as plain tests in `make test`). Go allows one -fuzz pattern per
+# invocation, hence the loop.
+FUZZTIME ?= 10s
+fuzz:
+	for t in FuzzCOOInvariants FuzzScoreSlabVsPredict FuzzHausdorffSymmetry; do \
+		$(GO) test -run '^$$' -fuzz $$t -fuzztime $(FUZZTIME) ./internal/check || exit 1; \
+	done
+
+# Re-record the golden trajectories after an INTENDED change to training math.
+golden-update:
+	$(GO) test -run Golden -update -count=1 ./internal/check
+
+check: build vet test race gradcheck fuzz

@@ -46,31 +46,8 @@ func (c *CoSTCo) Fit(ctx *Context) error {
 	if r <= 0 {
 		return fmt.Errorf("baselines: CoSTCo needs positive rank, got %d", r)
 	}
-	c.rank = r
-	ch := c.Channels
 	rng := rand.New(rand.NewSource(ctx.Seed))
-	dims := [3]int{x.DimI, x.DimJ, x.DimK}
-	names := [3]string{"user", "poi", "time"}
-	for m := 0; m < 3; m++ {
-		c.emb[m] = nn.NewEmbedding("costco."+names[m], dims[m], r, rng)
-	}
-	c.w1 = xavierSlice(ch*3, 3+ch, rng)
-	c.b1 = make([]float64, ch)
-	c.w2 = xavierSlice(ch*ch*r, ch*r+ch, rng)
-	c.b2 = make([]float64, ch)
-	// Small positive biases keep the ReLU units alive at initialization,
-	// when the embedding products are still near zero.
-	for i := range c.b1 {
-		c.b1[i] = 0.1
-	}
-	for i := range c.b2 {
-		c.b2[i] = 0.1
-	}
-	c.gw1 = make([]float64, len(c.w1))
-	c.gb1 = make([]float64, ch)
-	c.gw2 = make([]float64, len(c.w2))
-	c.gb2 = make([]float64, ch)
-	c.head = nn.NewMLP("costco.head", ch, []int{ch}, 1, nn.ReLU, rng)
+	c.build([3]int{x.DimI, x.DimJ, x.DimK}, r, rng)
 
 	optim := opt.NewAdam(c.LR, 0)
 	epochs := ctx.Epochs
@@ -93,6 +70,48 @@ func (c *CoSTCo) Fit(ctx *Context) error {
 	}
 	c.fit = true
 	return nil
+}
+
+// build initializes the network for the given tensor dims and rank. Split
+// from Fit so the gradient-check tests can construct a training-shaped model
+// without running epochs.
+func (c *CoSTCo) build(dims [3]int, r int, rng *rand.Rand) {
+	c.rank = r
+	ch := c.Channels
+	names := [3]string{"user", "poi", "time"}
+	for m := 0; m < 3; m++ {
+		c.emb[m] = nn.NewEmbedding("costco."+names[m], dims[m], r, rng)
+	}
+	c.w1 = xavierSlice(ch*3, 3+ch, rng)
+	c.b1 = make([]float64, ch)
+	c.w2 = xavierSlice(ch*ch*r, ch*r+ch, rng)
+	c.b2 = make([]float64, ch)
+	// Small positive biases keep the ReLU units alive at initialization,
+	// when the embedding products are still near zero.
+	for i := range c.b1 {
+		c.b1[i] = 0.1
+	}
+	for i := range c.b2 {
+		c.b2[i] = 0.1
+	}
+	c.gw1 = make([]float64, len(c.w1))
+	c.gb1 = make([]float64, ch)
+	c.gw2 = make([]float64, len(c.w2))
+	c.gb2 = make([]float64, ch)
+	c.head = nn.NewMLP("costco.head", ch, []int{ch}, 1, nn.ReLU, rng)
+}
+
+// zeroGrad clears every gradient accumulator, the test-facing counterpart of
+// step's post-update clear.
+func (c *CoSTCo) zeroGrad() {
+	zeroSlice(c.gw1)
+	zeroSlice(c.gb1)
+	zeroSlice(c.gw2)
+	zeroSlice(c.gb2)
+	c.emb[0].ZeroGrad()
+	c.emb[1].ZeroGrad()
+	c.emb[2].ZeroGrad()
+	c.head.ZeroGrad()
 }
 
 // step applies one optimizer update to every parameter group and clears the

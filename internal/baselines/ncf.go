@@ -44,26 +44,15 @@ func (n *NCF) Fit(ctx *Context) error {
 	if r <= 0 {
 		return fmt.Errorf("baselines: NCF needs positive rank, got %d", r)
 	}
-	n.rank = r
 	rng := rand.New(rand.NewSource(ctx.Seed))
-	dims := [3]int{x.DimI, x.DimJ, x.DimK}
-	names := [3]string{"user", "poi", "time"}
-	for m := 0; m < 3; m++ {
-		n.embGMF[m] = nn.NewEmbedding("ncf.gmf."+names[m], dims[m], r, rng)
-		n.embMLP[m] = nn.NewEmbedding("ncf.mlp."+names[m], dims[m], r, rng)
-	}
-	n.mlp = nn.NewMLP("ncf.mlp", 3*r, n.Hidden, r, nn.ReLU, rng)
-	n.fuse = nn.NewDense("ncf.fuse", 2*r, 1, rng)
+	n.build([3]int{x.DimI, x.DimJ, x.DimK}, r, rng)
 
 	optim := opt.NewAdam(n.LR, 0)
 	epochs := ctx.Epochs
 	if epochs <= 0 {
 		epochs = 10
 	}
-	layers := []nn.Layer{
-		n.embGMF[0], n.embGMF[1], n.embGMF[2],
-		n.embMLP[0], n.embMLP[1], n.embMLP[2], n.mlp, n.fuse,
-	}
+	layers := n.layers()
 	for epoch := 0; epoch < epochs; epoch++ {
 		negs, err := core.SampleNegatives(x, x.NNZ(), rng)
 		if err != nil {
@@ -89,6 +78,28 @@ func (n *NCF) Fit(ctx *Context) error {
 
 // batchSize is the gradient-accumulation batch of the neural baselines.
 const batchSize = 64
+
+// build initializes the network for the given tensor dims and rank. Split
+// from Fit so the gradient-check tests can construct a training-shaped model
+// without running epochs.
+func (n *NCF) build(dims [3]int, r int, rng *rand.Rand) {
+	n.rank = r
+	names := [3]string{"user", "poi", "time"}
+	for m := 0; m < 3; m++ {
+		n.embGMF[m] = nn.NewEmbedding("ncf.gmf."+names[m], dims[m], r, rng)
+		n.embMLP[m] = nn.NewEmbedding("ncf.mlp."+names[m], dims[m], r, rng)
+	}
+	n.mlp = nn.NewMLP("ncf.mlp", 3*r, n.Hidden, r, nn.ReLU, rng)
+	n.fuse = nn.NewDense("ncf.fuse", 2*r, 1, rng)
+}
+
+// layers returns every trainable layer of the network.
+func (n *NCF) layers() []nn.Layer {
+	return []nn.Layer{
+		n.embGMF[0], n.embGMF[1], n.embGMF[2],
+		n.embMLP[0], n.embMLP[1], n.embMLP[2], n.mlp, n.fuse,
+	}
+}
 
 // forward runs the two paths and returns the pre-sigmoid logit plus the
 // intermediates needed for backprop.

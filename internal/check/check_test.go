@@ -1,0 +1,183 @@
+package check
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quadratic is a tiny analytic test function L(x, y) = Σ aᵢxᵢ² + Σ xᵢyᵢ with
+// exact hand gradients dL/dxᵢ = 2aᵢxᵢ + yᵢ, dL/dyᵢ = xᵢ.
+type quadratic struct {
+	a, x, y  []float64
+	gx, gy   []float64
+	sabotage func(q *quadratic) // optional gradient corruption
+}
+
+func newQuadratic(n int) *quadratic {
+	q := &quadratic{
+		a: make([]float64, n), x: make([]float64, n), y: make([]float64, n),
+		gx: make([]float64, n), gy: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		q.a[i] = 0.5 + float64(i)
+		q.x[i] = 0.3 - 0.1*float64(i)
+		q.y[i] = -0.2 + 0.15*float64(i)
+	}
+	return q
+}
+
+func (q *quadratic) loss() float64 {
+	var l float64
+	for i := range q.x {
+		l += q.a[i]*q.x[i]*q.x[i] + q.x[i]*q.y[i]
+		q.gx[i] = 2*q.a[i]*q.x[i] + q.y[i]
+		q.gy[i] = q.x[i]
+	}
+	if q.sabotage != nil {
+		q.sabotage(q)
+	}
+	return l
+}
+
+func (q *quadratic) params() []Param {
+	return []Param{
+		{Name: "x", Value: q.x, Grad: q.gx},
+		{Name: "y", Value: q.y, Grad: q.gy},
+	}
+}
+
+func TestGradientsPassesOnCorrectGradient(t *testing.T) {
+	q := newQuadratic(5)
+	res := Assert(t, q.loss, q.params(), Options{})
+	if res.MaxRelErr() > 1e-9 {
+		t.Fatalf("exact quadratic should check to ~machine precision, got %g", res.MaxRelErr())
+	}
+	for _, rep := range res.Reports {
+		if rep.Checked != 5 {
+			t.Fatalf("group %s checked %d of 5 elements", rep.Name, rep.Checked)
+		}
+	}
+}
+
+// The mutation regression the harness exists for: a deliberately corrupted
+// gradient must be reported, attributed to the right tensor, and pushed well
+// past the failure threshold.
+func TestGradientsCatchesBrokenGradient(t *testing.T) {
+	cases := []struct {
+		name     string
+		sabotage func(q *quadratic)
+	}{
+		{"scaled", func(q *quadratic) { q.gx[2] *= 1.05 }},
+		{"sign-flipped", func(q *quadratic) { q.gy[1] = -q.gy[1] }},
+		{"dropped-term", func(q *quadratic) { q.gx[0] = 2 * q.a[0] * q.x[0] }}, // forgets the xy coupling
+		{"nan", func(q *quadratic) { q.gy[3] = math.NaN() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := newQuadratic(5)
+			q.sabotage = tc.sabotage
+			res := Gradients(q.loss, q.params(), Options{})
+			if res.MaxRelErr() <= 1e-6 {
+				t.Fatalf("corrupted gradient slipped through: max rel-err %g\n%s", res.MaxRelErr(), res)
+			}
+			worst := res.Worst()
+			wantParam := "x"
+			if strings.HasPrefix(tc.name, "sign") || tc.name == "nan" {
+				wantParam = "y"
+			}
+			if worst.Param != wantParam {
+				t.Fatalf("worst error attributed to %s, want %s\n%s", worst.Param, wantParam, res)
+			}
+		})
+	}
+}
+
+func TestGradientsRestoresValuesAndGrads(t *testing.T) {
+	q := newQuadratic(4)
+	xBefore := append([]float64(nil), q.x...)
+	Gradients(q.loss, q.params(), Options{})
+	for i := range xBefore {
+		if q.x[i] != xBefore[i] {
+			t.Fatalf("x[%d] not restored: %g vs %g", i, q.x[i], xBefore[i])
+		}
+	}
+	// Grads must hold the analytic gradient at the unperturbed point.
+	for i := range q.x {
+		want := 2*q.a[i]*q.x[i] + q.y[i]
+		if math.Abs(q.gx[i]-want) > 1e-15 {
+			t.Fatalf("gx[%d] left at %g, want unperturbed analytic %g", i, q.gx[i], want)
+		}
+	}
+}
+
+func TestGradientsSubsamplingDeterministic(t *testing.T) {
+	q := newQuadratic(20)
+	opts := Options{MaxPerParam: 7, Seed: 3}
+	r1 := Gradients(q.loss, q.params(), opts)
+	r2 := Gradients(q.loss, q.params(), opts)
+	for pi := range r1.Reports {
+		if r1.Reports[pi].Checked != 7 {
+			t.Fatalf("group %s checked %d, want 7", r1.Reports[pi].Name, r1.Reports[pi].Checked)
+		}
+		if r1.Reports[pi].Worst.Index != r2.Reports[pi].Worst.Index {
+			t.Fatalf("subsampling not deterministic for %s", r1.Reports[pi].Name)
+		}
+	}
+}
+
+func TestGradientsMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on value/grad length mismatch")
+		}
+	}()
+	Gradients(func() float64 { return 0 }, []Param{{Name: "bad", Value: make([]float64, 3), Grad: make([]float64, 2)}}, Options{})
+}
+
+func TestCompareSeries(t *testing.T) {
+	base := Series{"loss": {1, 0.5, 0.25}, "hit": {0.4}}
+	cases := []struct {
+		name    string
+		got     Series
+		wantErr string
+	}{
+		{"identical", Series{"loss": {1, 0.5, 0.25}, "hit": {0.4}}, ""},
+		{"within-tol", Series{"loss": {1 + 1e-9, 0.5, 0.25}, "hit": {0.4}}, ""},
+		{"drifted", Series{"loss": {1, 0.51, 0.25}, "hit": {0.4}}, `series "loss"[1]`},
+		{"missing-series", Series{"loss": {1, 0.5, 0.25}}, `series "hit" recorded`},
+		{"extra-series", Series{"loss": {1, 0.5, 0.25}, "hit": {0.4}, "new": {1}}, `series "new" produced`},
+		{"short-series", Series{"loss": {1, 0.5}, "hit": {0.4}}, `series "loss" length 2`},
+		{"nan", Series{"loss": {1, math.NaN(), 0.25}, "hit": {0.4}}, "non-finite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CompareSeries(base, tc.got, 1e-6)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected mismatch: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/roundtrip.json"
+	want := Series{"loss": {3.25, 1.5, 0.75}, "mrr": {0.3333333333333333}}
+	if err := writeGolden(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareSeries(want, got, 0); err != nil {
+		t.Fatalf("lossless JSON round-trip expected: %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+package check
+
+import (
+	"math/rand"
+
+	"tcss/internal/core"
+	"tcss/internal/geo"
+	"tcss/internal/graph"
+	"tcss/internal/tensor"
+)
+
+// TrainFixture is a small deterministic two-community LBSN problem shared by
+// the golden runs, the loss-head gradient checks and the fuzz seeds: users
+// 0..I/2-1 visit the first half of the POIs at early time units, the rest
+// visit the second half late, friendships stay within communities, and POIs
+// cluster in two geographic areas.
+type TrainFixture struct {
+	Train  *tensor.COO
+	Test   []tensor.Entry
+	Social *graph.Graph
+	Dist   *geo.DistanceMatrix
+	Side   *core.SideInfo
+}
+
+// NewTrainFixture builds the fixture deterministically from seed.
+func NewTrainFixture(seed int64) *TrainFixture {
+	rng := rand.New(rand.NewSource(seed))
+	const I, J, K = 12, 10, 4
+	full := tensor.NewCOO(I, J, K)
+	for u := 0; u < I; u++ {
+		lo, hi, kOff := 0, J/2, 0
+		if u >= I/2 {
+			lo, hi, kOff = J/2, J, 2
+		}
+		for n := 0; n < 9; n++ {
+			full.Set(u, lo+rng.Intn(hi-lo), kOff+rng.Intn(2), 1)
+		}
+	}
+	train, test := full.Split(0.8, rng)
+
+	social := graph.New(I)
+	for u := 0; u < I; u++ {
+		for v := u + 1; v < I; v++ {
+			if (u < I/2) == (v < I/2) && rng.Float64() < 0.5 {
+				social.AddEdge(u, v)
+			}
+		}
+	}
+	graph.EnsureMinDegree(social, 1, rng)
+
+	pts := make([]geo.Point, J)
+	for j := range pts {
+		base := geo.Point{Lat: 30, Lon: -97}
+		if j >= J/2 {
+			base = geo.Point{Lat: 30.4, Lon: -97.5}
+		}
+		pts[j] = geo.Jitter(base, 0.01, rng)
+	}
+	dist := geo.NewDistanceMatrix(pts)
+
+	side, err := core.BuildSideInfo(social, dist, train)
+	if err != nil {
+		panic("check: fixture side info: " + err.Error())
+	}
+	return &TrainFixture{Train: train, Test: test, Social: social, Dist: dist, Side: side}
+}
+
+// PositiveModel returns a model of the given shape whose parameters are
+// small and strictly positive, chosen so every Predict lands well inside
+// (0, 1): the Hausdorff head's clamp and no-visit product then stay away
+// from their saturation boundaries, where one-sided gradients would make a
+// central-difference comparison meaningless.
+func PositiveModel(i, j, k, rank int, seed int64) *core.Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := core.NewModel(i, j, k, rank)
+	uniform := func(data []float64, lo, hi float64) {
+		for idx := range data {
+			data[idx] = lo + rng.Float64()*(hi-lo)
+		}
+	}
+	uniform(m.U1.Data, 0.05, 0.35)
+	uniform(m.U2.Data, 0.05, 0.35)
+	uniform(m.U3.Data, 0.05, 0.35)
+	uniform(m.H, 0.3, 0.6)
+	return m
+}
+
+// ModelParams exposes a core model's four parameter groups and a matching
+// gradient accumulator as checker Params. The Grad slices alias g, so a
+// LossFn that accumulates into g satisfies the checker contract.
+func ModelParams(m *core.Model, g *core.Grads) []Param {
+	return []Param{
+		{Name: "U1", Value: m.U1.Data, Grad: g.DU1.Data},
+		{Name: "U2", Value: m.U2.Data, Grad: g.DU2.Data},
+		{Name: "U3", Value: m.U3.Data, Grad: g.DU3.Data},
+		{Name: "h", Value: m.H, Grad: g.DH},
+	}
+}

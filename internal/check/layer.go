@@ -1,0 +1,73 @@
+package check
+
+import (
+	"math/rand"
+
+	"tcss/internal/nn"
+)
+
+// Parameterized is the slice of the nn.Layer contract LayerParams needs:
+// the recurrent cells (RNNCell, LSTMCell, STLSTMCell) expose Params without
+// implementing the stateless Forward/Backward of the full interface.
+type Parameterized interface {
+	Params() []nn.Param
+}
+
+// LayerParams converts a layer's parameter groups to the checker's Param
+// type. The slices are shared, not copied, so perturbations made by
+// Gradients act on the live layer.
+func LayerParams(layers ...Parameterized) []Param {
+	var out []Param
+	for _, l := range layers {
+		for _, p := range l.Params() {
+			out = append(out, Param{Name: p.Name, Value: p.Value, Grad: p.Grad})
+		}
+	}
+	return out
+}
+
+// LayerLoss adapts any nn.Layer to a LossFn through the linear probe
+// loss(x) = Σ_o w[o]·Forward(x)[o], whose upstream gradient is exactly w.
+// Each call zeroes the layer's accumulators, runs Forward and Backward, and
+// returns the probe loss, satisfying the LossFn contract. A linear probe
+// with a generic (non-degenerate) w exercises every output coordinate, so a
+// wrong parameter gradient anywhere in the layer shows up in the probe.
+func LayerLoss(l nn.Layer, x, w []float64) LossFn {
+	return func() float64 {
+		l.ZeroGrad()
+		y := l.Forward(x)
+		if len(y) != len(w) {
+			panic("check: LayerLoss probe weight length does not match layer output")
+		}
+		var loss float64
+		for o, v := range y {
+			loss += w[o] * v
+		}
+		l.Backward(x, w)
+		return loss
+	}
+}
+
+// ProbeWeights returns a deterministic generic probe vector with entries in
+// [0.5, 1.5), suitable as the w of LayerLoss: no zeros (every output
+// contributes) and no repeated structure that could mask transposed-index
+// bugs.
+func ProbeWeights(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 0.5 + rng.Float64()
+	}
+	return w
+}
+
+// RandomVector returns a deterministic vector with entries uniform in
+// [-scale, scale), the generic input of the layer gradient checks.
+func RandomVector(n int, scale float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = (2*rng.Float64() - 1) * scale
+	}
+	return v
+}

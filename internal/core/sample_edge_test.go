@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tcss/internal/tensor"
+)
+
+// TestSampleNegativesErrorPaths pins the failure modes of the rejection
+// sampler: a full tensor is rejected immediately with a descriptive error, a
+// near-saturated tensor fails the attempt cap rather than spinning forever,
+// and non-positive requests are a silent no-op.
+func TestSampleNegativesErrorPaths(t *testing.T) {
+	t.Run("full-tensor", func(t *testing.T) {
+		x := tensor.NewCOO(2, 2, 2)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				for k := 0; k < 2; k++ {
+					x.Set(i, j, k, 1)
+				}
+			}
+		}
+		_, err := SampleNegatives(x, 1, rand.New(rand.NewSource(1)))
+		if err == nil || !strings.Contains(err.Error(), "full") {
+			t.Fatalf("full tensor: err = %v, want mention of full tensor", err)
+		}
+	})
+
+	t.Run("attempt-cap-on-near-dense", func(t *testing.T) {
+		// 99 of 100 cells observed: each attempt finds the single empty cell
+		// with probability 1/100, so the 50n+1000 attempt budget cannot cover
+		// n = 1000 requested negatives and the sampler must give up with the
+		// density diagnostic instead of looping forever.
+		x := tensor.NewCOO(5, 5, 4)
+		filled := 0
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				for k := 0; k < 4 && filled < 99; k++ {
+					x.Set(i, j, k, 1)
+					filled++
+				}
+			}
+		}
+		_, err := SampleNegatives(x, 1000, rand.New(rand.NewSource(2)))
+		if err == nil || !strings.Contains(err.Error(), "too dense") {
+			t.Fatalf("near-dense tensor: err = %v, want attempt-cap diagnostic", err)
+		}
+	})
+
+	t.Run("non-positive-n", func(t *testing.T) {
+		x := tensor.NewCOO(2, 2, 2)
+		x.Set(0, 0, 0, 1)
+		for _, n := range []int{0, -3} {
+			negs, err := SampleNegatives(x, n, rand.New(rand.NewSource(3)))
+			if negs != nil || err != nil {
+				t.Fatalf("n=%d: got (%v, %v), want (nil, nil)", n, negs, err)
+			}
+		}
+	})
+
+	t.Run("negatives-are-unobserved", func(t *testing.T) {
+		x := tensor.NewCOO(4, 4, 4)
+		rng := rand.New(rand.NewSource(4))
+		for n := 0; n < 30; n++ {
+			x.Set(rng.Intn(4), rng.Intn(4), rng.Intn(4), 1)
+		}
+		negs, err := SampleNegatives(x, 10, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(negs) != 10 {
+			t.Fatalf("got %d negatives, want 10", len(negs))
+		}
+		for _, e := range negs {
+			if x.Has(e.I, e.J, e.K) {
+				t.Fatalf("negative (%d,%d,%d) collides with an observed entry", e.I, e.J, e.K)
+			}
+			if e.Val != 0 {
+				t.Fatalf("negative (%d,%d,%d) has value %g, want 0", e.I, e.J, e.K, e.Val)
+			}
+		}
+	})
+}

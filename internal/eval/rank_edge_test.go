@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"testing"
+
+	"tcss/internal/tensor"
+)
+
+func edgeTestEntries() []tensor.Entry {
+	return []tensor.Entry{
+		{I: 0, J: 3, K: 1, Val: 1},
+		{I: 1, J: 7, K: 0, Val: 1},
+		{I: 2, J: 0, K: 2, Val: 1},
+		{I: 0, J: 9, K: 1, Val: 1},
+	}
+}
+
+// TestRankTieBreakingPessimistic pins the documented tie rule: a constant
+// scorer ties the target with every negative and must receive the WORST rank
+// (Negatives+1), i.e. zero Hit@K credit and MRR = 1/(Negatives+1). An
+// optimistic or average tie rule would score a constant model far above
+// chance, silently inflating every reported metric.
+func TestRankTieBreakingPessimistic(t *testing.T) {
+	test := edgeTestEntries()
+	cfg := Config{Negatives: 5, TopK: 3, Seed: 7}
+	res := Rank(ScorerFunc(func(i, j, k int) float64 { return 0.25 }), test, 12, cfg)
+	if res.HitAtK != 0 {
+		t.Fatalf("constant scorer got Hit@%d = %g, want 0", cfg.TopK, res.HitAtK)
+	}
+	wantMRR := 1.0 / float64(cfg.Negatives+1)
+	if res.MRR != wantMRR {
+		t.Fatalf("constant scorer MRR = %g, want %g", res.MRR, wantMRR)
+	}
+	// With the cutoff at or past the candidate count even the worst rank is a
+	// hit, so the same scorer must score a perfect Hit@K.
+	cfg.TopK = cfg.Negatives + 1
+	if res := Rank(ScorerFunc(func(i, j, k int) float64 { return 0.25 }), test, 12, cfg); res.HitAtK != 1 {
+		t.Fatalf("Hit@%d = %g, want 1", cfg.TopK, res.HitAtK)
+	}
+}
+
+// TestRankWorkerCountInvariance asserts the documented determinism contract:
+// per-entry seeded negative sampling makes the metrics bit-for-bit identical
+// at every worker count, including counts exceeding the test-set size.
+func TestRankWorkerCountInvariance(t *testing.T) {
+	test := edgeTestEntries()
+	scorer := ScorerFunc(func(i, j, k int) float64 {
+		return float64((i*31+j*17+k*7)%13) / 13
+	})
+	cfg := Config{Negatives: 6, TopK: 2, Seed: 3}
+	base := RankWorkers(scorer, test, 12, cfg, 1)
+	for _, workers := range []int{2, 3, 8} {
+		got := RankWorkers(scorer, test, 12, cfg, workers)
+		if got != base {
+			t.Fatalf("workers=%d: %+v differs from serial %+v", workers, got, base)
+		}
+	}
+}
+
+// TestRankEmptyTestSet pins the zero-entry behaviour (all-zero result, no
+// division by zero).
+func TestRankEmptyTestSet(t *testing.T) {
+	res := Rank(ScorerFunc(func(i, j, k int) float64 { return 1 }), nil, 5, Config{Negatives: 3, TopK: 2, Seed: 1})
+	if res != (Result{}) {
+		t.Fatalf("empty test set gave %+v, want zero result", res)
+	}
+}
