@@ -3,9 +3,10 @@ GO ?= go
 # Kernel micro-benchmarks whose before/after numbers are tracked in
 # BENCH_PR1.json. The experiment benchmarks (BenchmarkTable*, BenchmarkFig*)
 # are much slower and run via `make bench-all`.
-KERNEL_BENCH = 'BenchmarkLoss(Naive|NegSampling|Rewritten)$$|BenchmarkLossRewrittenWorkers|BenchmarkHausdorffLoss|BenchmarkScoreSlab|BenchmarkMulBlocked|BenchmarkRank$$|BenchmarkSpectralInit|BenchmarkTrainEpoch'
+KERNEL_BENCH = 'BenchmarkLoss(Naive|NegSampling|Rewritten)$$|BenchmarkLossRewrittenWorkers|BenchmarkHausdorffLoss|BenchmarkScoreSlab|BenchmarkMulBlocked|BenchmarkRank$$|BenchmarkSpectralInit|BenchmarkTrainEpoch|BenchmarkTopN(Alloc|Scratch)$$'
 
-.PHONY: build test race vet bench bench-all check gradcheck fuzz golden-update
+.PHONY: build test race vet bench bench-all check gradcheck fuzz golden-update \
+	serve loadgen serve-bench serve-smoke
 
 build:
 	$(GO) build ./...
@@ -25,7 +26,7 @@ vet:
 # BENCH_PR1.json by hand (the JSON also records machine context and the
 # before-numbers, which a fresh run cannot reproduce).
 bench:
-	$(GO) test -run '^$$' -bench $(KERNEL_BENCH) -benchmem -benchtime=1x -count=1 . | tee bench_kernels.txt
+	$(GO) test -run '^$$' -bench $(KERNEL_BENCH) -benchmem -benchtime=1x -count=1 . ./internal/core | tee bench_kernels.txt
 
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -count=1 .
@@ -48,5 +49,27 @@ fuzz:
 # Re-record the golden trajectories after an INTENDED change to training math.
 golden-update:
 	$(GO) test -run Golden -update -count=1 ./internal/check
+
+# Online serving: train on a preset and expose the HTTP API.
+SERVE_PRESET ?= gowalla
+SERVE_ADDR ?= :8080
+serve:
+	$(GO) run ./cmd/tcss serve -preset $(SERVE_PRESET) -addr $(SERVE_ADDR)
+
+# Load generator against a self-hosted in-process server (default) or -url.
+LOADGEN_FLAGS ?=
+loadgen:
+	$(GO) run ./cmd/loadgen $(LOADGEN_FLAGS)
+
+# The PR 3 serving benchmark: closed-loop load against a self-hosted gowalla
+# server with a trickle of observe writes; results land in BENCH_PR3.json.
+serve-bench:
+	$(GO) run ./cmd/loadgen -preset gowalla -conns 8 -duration 10s \
+		-observe-frac 0.001 -out BENCH_PR3.json
+
+# Quick CI smoke: a short low-load run on the small preset, discarding output.
+serve-smoke:
+	$(GO) run ./cmd/loadgen -preset gmu-5k -epochs 40 -conns 2 -duration 2s \
+		-observe-frac 0.01 -out /tmp/loadgen_smoke.json
 
 check: build vet test race gradcheck fuzz

@@ -1,0 +1,455 @@
+// Command loadgen drives the tcss serving API and reports throughput and
+// latency. By default it self-hosts: it trains a model on a preset dataset,
+// starts the internal/serve server on a loopback listener, and hammers it
+// over real HTTP. Point -url at a running `tcss serve` to load an external
+// server instead (then -users and -times must describe the model dims).
+//
+// Two load models:
+//
+//	loadgen -conns 8 -duration 10s             # closed loop: 8 workers, b2b
+//	loadgen -rate 2000 -duration 10s           # open loop: 2000 req/s target
+//
+// A fraction of requests (-observe-frac) are POST /v1/observe batches with a
+// random check-in, exercising the snapshot-swap path and cache invalidation
+// under read load. Results (throughput, client-side percentiles, error
+// counts, server-side /metrics scrape) are written as JSON to -out.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tcss"
+	"tcss/internal/lbsn"
+	"tcss/internal/serve"
+)
+
+type options struct {
+	url         string
+	preset      string
+	seed        int64
+	gran        string
+	epochs      int
+	rank        int
+	conns       int
+	rate        float64
+	duration    time.Duration
+	observeFrac float64
+	topN        int
+	users       int
+	pois        int
+	times       int
+	out         string
+}
+
+// sample is one completed request, classified for aggregation.
+type sample struct {
+	observe  bool
+	status   int
+	ms       float64
+	cacheHit bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.url, "url", "", "target server base URL (empty = self-host in process)")
+	flag.StringVar(&o.preset, "preset", "gowalla", fmt.Sprintf("self-host preset dataset, one of %v", lbsn.PresetNames()))
+	flag.Int64Var(&o.seed, "seed", 7, "seed for dataset, training and request generation")
+	flag.StringVar(&o.gran, "granularity", "month", "self-host time granularity: month, week or hour")
+	flag.IntVar(&o.epochs, "epochs", 0, "self-host training epochs (0 = default)")
+	flag.IntVar(&o.rank, "rank", 0, "self-host embedding rank (0 = default)")
+	flag.IntVar(&o.conns, "conns", 8, "closed-loop worker connections")
+	flag.Float64Var(&o.rate, "rate", 0, "open-loop target requests/s (0 = closed loop)")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "measurement duration")
+	flag.Float64Var(&o.observeFrac, "observe-frac", 0.001, "fraction of requests that are observe batches")
+	flag.IntVar(&o.topN, "n", 10, "top-N per recommend request")
+	flag.IntVar(&o.users, "users", 0, "user id range for -url mode (ignored when self-hosting)")
+	flag.IntVar(&o.pois, "pois", 0, "poi id range for -url mode (ignored when self-hosting)")
+	flag.IntVar(&o.times, "times", 0, "time unit range for -url mode (ignored when self-hosting)")
+	flag.StringVar(&o.out, "out", "BENCH_PR3.json", "output JSON path")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) (err error) {
+	base := o.url
+	if base == "" {
+		var stop func()
+		base, stop, err = selfHost(&o)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	} else {
+		base = strings.TrimRight(base, "/")
+		if o.users <= 0 || o.times <= 0 {
+			return fmt.Errorf("-url mode requires -users and -times (the served model's dims)")
+		}
+		if o.observeFrac > 0 && o.pois <= 0 {
+			return fmt.Errorf("-url mode with -observe-frac > 0 requires -pois")
+		}
+	}
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        o.conns + 64,
+			MaxIdleConnsPerHost: o.conns + 64,
+		},
+	}
+	results := make(chan sample, 8192)
+	var agg aggregate
+	collectDone := make(chan struct{})
+	go func() {
+		defer close(collectDone)
+		for s := range results {
+			agg.add(s)
+		}
+	}()
+
+	fmt.Printf("loadgen: %s for %s (", base, o.duration)
+	if o.rate > 0 {
+		fmt.Printf("open loop, %g req/s target", o.rate)
+	} else {
+		fmt.Printf("closed loop, %d conns", o.conns)
+	}
+	fmt.Printf(", observe-frac %g)\n", o.observeFrac)
+
+	start := time.Now()
+	if o.rate > 0 {
+		runOpenLoop(o, base, client, results)
+	} else {
+		runClosedLoop(o, base, client, results)
+	}
+	elapsed := time.Since(start)
+	close(results)
+	<-collectDone
+
+	report := agg.report(o, elapsed)
+	report.Server = scrapeMetrics(client, base)
+
+	raw, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(o.out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recommend: %d ok, %.0f req/s, p50 %.3fms p95 %.3fms p99 %.3fms, client cache-hit %.1f%%\n",
+		report.Recommend.OK, report.Recommend.RPS,
+		report.Recommend.P50ms, report.Recommend.P95ms, report.Recommend.P99ms,
+		100*report.Recommend.CacheHitFrac)
+	fmt.Printf("observe: %d ok, %d shed; errors: %d shed_503, %d deadline_504, %d other\n",
+		report.Observe.OK, report.Observe.Shed,
+		report.Errors.Shed503, report.Errors.Deadline504, report.Errors.Other)
+	fmt.Printf("wrote %s\n", o.out)
+	return nil
+}
+
+// selfHost trains a recommender on the preset and serves it on a loopback
+// listener, returning the base URL and a shutdown func. It also fills in
+// o.users/o.times from the trained model's dims.
+func selfHost(o *options) (string, func(), error) {
+	cfg, err := lbsn.NewPreset(o.preset, o.seed)
+	if err != nil {
+		return "", nil, err
+	}
+	ds, err := lbsn.Generate(cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	var g tcss.Granularity
+	switch strings.ToLower(o.gran) {
+	case "month":
+		g = tcss.Month
+	case "week":
+		g = tcss.Week
+	case "hour":
+		g = tcss.Hour
+	default:
+		return "", nil, fmt.Errorf("unknown granularity %q", o.gran)
+	}
+	tcfg := tcss.DefaultConfig()
+	tcfg.Seed = o.seed
+	if o.epochs > 0 {
+		tcfg.Epochs = o.epochs
+	}
+	if o.rank > 0 {
+		tcfg.Rank = o.rank
+	}
+	fmt.Printf("loadgen: training on %s (users=%d pois=%d epochs=%d)...\n",
+		o.preset, ds.NumUsers, len(ds.POIs), tcfg.Epochs)
+	rec, err := tcss.Fit(ds, g, tcfg)
+	if err != nil {
+		return "", nil, err
+	}
+	o.users = rec.Model.I
+	o.pois = rec.Model.J
+	o.times = rec.Model.K
+
+	srv, err := serve.New(rec, serve.Options{})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	stop := func() {
+		ln.Close()
+		srv.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// runClosedLoop runs o.conns workers issuing back-to-back requests until the
+// duration elapses.
+func runClosedLoop(o options, base string, client *http.Client, results chan<- sample) {
+	deadline := time.Now().Add(o.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < o.conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.seed + int64(w)*7919))
+			for time.Now().Before(deadline) {
+				results <- issue(o, base, client, rng)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpenLoop fires requests at a fixed target rate regardless of completion
+// times; each request runs in its own goroutine, so latency under saturation
+// reflects queueing rather than back-pressure on the generator.
+func runOpenLoop(o options, base string, client *http.Client, results chan<- sample) {
+	interval := time.Duration(float64(time.Second) / o.rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(o.duration)
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		rng = rand.New(rand.NewSource(o.seed))
+	)
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			r := rand.New(rand.NewSource(rng.Int63()))
+			mu.Unlock()
+			results <- issue(o, base, client, r)
+		}()
+	}
+	wg.Wait()
+}
+
+// issue performs one request: an observe batch with probability observeFrac,
+// otherwise a recommend query with uniform random user and time unit.
+func issue(o options, base string, client *http.Client, rng *rand.Rand) sample {
+	if rng.Float64() < o.observeFrac {
+		body, _ := json.Marshal(map[string]any{
+			"checkins": []map[string]int{{
+				"user":  rng.Intn(o.users),
+				"poi":   rng.Intn(o.pois),
+				"month": rng.Intn(12),
+				"week":  rng.Intn(53),
+				"hour":  rng.Intn(24),
+			}},
+		})
+		return timedPost(client, base+"/v1/observe", body)
+	}
+	url := fmt.Sprintf("%s/v1/recommend?user=%d&t=%d&n=%d",
+		base, rng.Intn(o.users), rng.Intn(o.times), o.topN)
+	return timedGet(client, url)
+}
+
+func timedGet(client *http.Client, url string) sample {
+	start := time.Now()
+	resp, err := client.Get(url)
+	s := sample{status: 0}
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		s.status = resp.StatusCode
+		s.cacheHit = resp.Header.Get("X-Cache") == "HIT"
+	}
+	s.ms = float64(time.Since(start)) / float64(time.Millisecond)
+	return s
+}
+
+func timedPost(client *http.Client, url string, body []byte) sample {
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	s := sample{observe: true, status: 0}
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		s.status = resp.StatusCode
+	}
+	s.ms = float64(time.Since(start)) / float64(time.Millisecond)
+	return s
+}
+
+// aggregate accumulates samples; single-goroutine (the collector).
+type aggregate struct {
+	recLat    []float64
+	recOK     int
+	recHits   int
+	obsOK     int
+	obsShed   int
+	obsBad    int
+	shed503   int
+	missed504 int
+	other     int
+}
+
+func (a *aggregate) add(s sample) {
+	if s.observe {
+		switch s.status {
+		case http.StatusOK:
+			a.obsOK++
+		case http.StatusServiceUnavailable:
+			a.obsShed++
+		case http.StatusBadRequest:
+			a.obsBad++ // random POI out of range: expected, still exercised parsing
+		default:
+			a.other++
+		}
+		return
+	}
+	switch s.status {
+	case http.StatusOK:
+		a.recOK++
+		a.recLat = append(a.recLat, s.ms)
+		if s.cacheHit {
+			a.recHits++
+		}
+	case http.StatusServiceUnavailable:
+		a.shed503++
+	case http.StatusGatewayTimeout:
+		a.missed504++
+	default:
+		a.other++
+	}
+}
+
+// benchReport is the BENCH_PR3.json document.
+type benchReport struct {
+	Config struct {
+		Target      string  `json:"target"`
+		Preset      string  `json:"preset,omitempty"`
+		Conns       int     `json:"conns,omitempty"`
+		RateTarget  float64 `json:"rate_target_rps,omitempty"`
+		DurationSec float64 `json:"duration_seconds"`
+		ObserveFrac float64 `json:"observe_frac"`
+		TopN        int     `json:"topn"`
+		Seed        int64   `json:"seed"`
+	} `json:"config"`
+	Recommend struct {
+		OK           int     `json:"ok"`
+		RPS          float64 `json:"rps"`
+		P50ms        float64 `json:"p50_ms"`
+		P95ms        float64 `json:"p95_ms"`
+		P99ms        float64 `json:"p99_ms"`
+		CacheHitFrac float64 `json:"client_cache_hit_frac"`
+	} `json:"recommend"`
+	Observe struct {
+		OK   int `json:"ok"`
+		Shed int `json:"shed"`
+		Bad  int `json:"bad_request"`
+	} `json:"observe"`
+	Errors struct {
+		Shed503     int `json:"shed_503"`
+		Deadline504 int `json:"deadline_504"`
+		Other       int `json:"other"`
+	} `json:"errors"`
+	Server json.RawMessage `json:"server_metrics,omitempty"`
+}
+
+func (a *aggregate) report(o options, elapsed time.Duration) benchReport {
+	var r benchReport
+	r.Config.Target = o.url
+	if o.url == "" {
+		r.Config.Target = "self-hosted"
+		r.Config.Preset = o.preset
+	}
+	if o.rate > 0 {
+		r.Config.RateTarget = o.rate
+	} else {
+		r.Config.Conns = o.conns
+	}
+	r.Config.DurationSec = elapsed.Seconds()
+	r.Config.ObserveFrac = o.observeFrac
+	r.Config.TopN = o.topN
+	r.Config.Seed = o.seed
+
+	r.Recommend.OK = a.recOK
+	r.Recommend.RPS = float64(a.recOK) / elapsed.Seconds()
+	r.Recommend.P50ms, r.Recommend.P95ms, r.Recommend.P99ms = percentiles(a.recLat)
+	if a.recOK > 0 {
+		r.Recommend.CacheHitFrac = float64(a.recHits) / float64(a.recOK)
+	}
+	r.Observe.OK = a.obsOK
+	r.Observe.Shed = a.obsShed
+	r.Observe.Bad = a.obsBad
+	r.Errors.Shed503 = a.shed503
+	r.Errors.Deadline504 = a.missed504
+	r.Errors.Other = a.other
+	return r
+}
+
+func percentiles(lat []float64) (p50, p95, p99 float64) {
+	if len(lat) == 0 {
+		return 0, 0, 0
+	}
+	sorted := make([]float64, len(lat))
+	copy(sorted, lat)
+	sort.Float64s(sorted)
+	at := func(p float64) float64 {
+		idx := int(p*float64(len(sorted))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return sorted[idx]
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// scrapeMetrics embeds the server's own /metrics document in the report.
+func scrapeMetrics(client *http.Client, base string) json.RawMessage {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	return json.RawMessage(raw)
+}

@@ -9,6 +9,11 @@
 //	tcss -data ./data/gowalla                    # same on a saved dataset
 //	tcss -preset yelp -variant self-hausdorff    # ablation variant
 //	tcss -preset gowalla -recommend 12 -time 5   # top POIs for user 12, June
+//
+// The serve subcommand starts the online recommendation HTTP server instead:
+//
+//	tcss serve -preset gowalla -addr :8080       # train, then serve /v1/*
+//	tcss serve -model model.json -preset gowalla # serve a saved model
 package main
 
 import (
@@ -22,6 +27,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	var (
 		preset    = flag.String("preset", "", fmt.Sprintf("generate a preset dataset, one of %v", lbsn.PresetNames()))
 		data      = flag.String("data", "", "load a dataset directory written by datagen")

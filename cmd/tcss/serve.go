@@ -1,0 +1,125 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"tcss"
+	"tcss/internal/lbsn"
+	"tcss/internal/serve"
+)
+
+// serveMain implements `tcss serve`: train (or load) a model and serve it
+// over HTTP with the internal/serve online recommendation server.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("tcss serve", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `Usage: tcss serve [flags]
+
+Serves recommendations over HTTP: GET /v1/recommend, GET /v1/explain,
+POST /v1/observe, POST /v1/snapshot/save, GET /metrics, GET /healthz.
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		preset    = fs.String("preset", "", fmt.Sprintf("generate a preset dataset, one of %v", lbsn.PresetNames()))
+		data      = fs.String("data", "", "load a dataset directory written by datagen")
+		gran      = fs.String("granularity", "month", "time granularity: month, week or hour")
+		seed      = fs.Int64("seed", 7, "seed for generation, splitting and training")
+		epochs    = fs.Int("epochs", 0, "training epochs (0 = default)")
+		rank      = fs.Int("rank", 0, "embedding rank (0 = default 10)")
+		modelPath = fs.String("model", "", "serve a saved model instead of training; its recorded generation is resumed")
+		snapshot  = fs.String("snapshot", "", "enable POST /v1/snapshot/save writing the model (with generation) here")
+
+		topN        = fs.Int("topn", 0, "default result count for /v1/recommend (0 = server default)")
+		cacheSize   = fs.Int("cache", 0, "response cache capacity (0 = server default, negative disables)")
+		maxInflight = fs.Int("max-inflight", 0, "concurrent scoring requests (0 = server default)")
+		maxQueue    = fs.Int("max-queue", -1, "admission wait queue length (-1 = server default)")
+		timeout     = fs.Duration("timeout", 0, "per-request deadline (0 = server default)")
+		onlineEp    = fs.Int("online-epochs", 0, "SGD epochs per observe batch (0 = default)")
+	)
+	fs.Parse(args)
+
+	ds, err := loadDataset(*preset, *data, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcss serve:", err)
+		os.Exit(1)
+	}
+	g, err := parseGranularity(*gran)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcss serve:", err)
+		os.Exit(1)
+	}
+	cfg := tcss.DefaultConfig()
+	cfg.Seed = *seed
+	if *epochs > 0 {
+		cfg.Epochs = *epochs
+	}
+	if *rank > 0 {
+		cfg.Rank = *rank
+	}
+
+	var (
+		rec      *tcss.Recommender
+		firstGen uint64
+	)
+	if *modelPath != "" {
+		m, gen, err := tcss.LoadModelVersioned(*modelPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcss serve:", err)
+			os.Exit(1)
+		}
+		rec, err = tcss.AttachModel(m, ds, g, cfg, 0.8)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcss serve:", err)
+			os.Exit(1)
+		}
+		firstGen = gen
+		fmt.Printf("loaded model %s (generation %d)\n", *modelPath, gen)
+	} else {
+		s := ds.Summary()
+		fmt.Printf("dataset %s: users=%d pois=%d check-ins=%d\n", ds.Name, s.Users, s.POIs, s.CheckIns)
+		fmt.Printf("training TCSS (rank=%d, epochs=%d)...\n", cfg.Rank, cfg.Epochs)
+		start := time.Now()
+		rec, err = tcss.Fit(ds, g, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcss serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trained in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	online := tcss.DefaultOnlineConfig()
+	if *onlineEp > 0 {
+		online.Epochs = *onlineEp
+	}
+	opts := serve.Options{
+		TopNDefault:     *topN,
+		RequestTimeout:  *timeout,
+		MaxInflight:     *maxInflight,
+		MaxQueue:        *maxQueue,
+		CacheSize:       *cacheSize,
+		Online:          online,
+		SnapshotPath:    *snapshot,
+		FirstGeneration: firstGen,
+	}
+	srv, err := serve.New(rec, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcss serve:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	fmt.Printf("serving generation %d on %s (/v1/recommend /v1/explain /v1/observe /metrics /healthz)\n",
+		srv.Generation(), *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "tcss serve:", err)
+		os.Exit(1)
+	}
+}

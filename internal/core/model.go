@@ -22,7 +22,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"tcss/internal/mat"
 )
@@ -156,30 +155,6 @@ func (m *Model) VisitProbability(i, j int) float64 {
 type Recommendation struct {
 	POI   int
 	Score float64
-}
-
-// TopN returns the n highest-scoring POIs for user i at time unit k,
-// excluding the POIs in skip (typically the user's already-visited set).
-func (m *Model) TopN(i, k, n int, skip map[int]bool) []Recommendation {
-	recs := make([]Recommendation, 0, m.J)
-	for j := 0; j < m.J; j++ {
-		if skip[j] {
-			continue
-		}
-		if s := m.Score(i, j, k); !math.IsInf(s, -1) {
-			recs = append(recs, Recommendation{POI: j, Score: s})
-		}
-	}
-	sort.Slice(recs, func(a, b int) bool {
-		if recs[a].Score != recs[b].Score {
-			return recs[a].Score > recs[b].Score
-		}
-		return recs[a].POI < recs[b].POI
-	})
-	if n < len(recs) {
-		recs = recs[:n]
-	}
-	return recs
 }
 
 // TimeScores returns the score of (i, j, ·) across every time unit, the

@@ -3,6 +3,7 @@ package core
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -13,26 +14,51 @@ import (
 // modelFile is the on-disk JSON representation of a trained model. The
 // zero-out filter is stored as packed rows to keep files compact.
 type modelFile struct {
-	Version int       `json:"version"`
-	Rank    int       `json:"rank"`
-	I       int       `json:"i"`
-	J       int       `json:"j"`
-	K       int       `json:"k"`
-	U1      []float64 `json:"u1"`
-	U2      []float64 `json:"u2"`
-	U3      []float64 `json:"u3"`
-	H       []float64 `json:"h"`
-	ZeroOut [][]bool  `json:"zero_out,omitempty"`
+	// Version is the format version of the file (FormatVersion when written
+	// by this build). Files predating versioning omit the field and decode
+	// as 0; they share the v1/v2 factor layout and are accepted as legacy.
+	Version int `json:"version"`
+	// Generation is the serving-snapshot generation at save time (v2+).
+	// Offline training saves write 0.
+	Generation uint64    `json:"generation,omitempty"`
+	Rank       int       `json:"rank"`
+	I          int       `json:"i"`
+	J          int       `json:"j"`
+	K          int       `json:"k"`
+	U1         []float64 `json:"u1"`
+	U2         []float64 `json:"u2"`
+	U3         []float64 `json:"u3"`
+	H          []float64 `json:"h"`
+	ZeroOut    [][]bool  `json:"zero_out,omitempty"`
 }
 
-// currentModelVersion is bumped whenever the serialized layout changes.
-const currentModelVersion = 1
+// FormatVersion is the model persistence format written by this build:
+//
+//	v0 — pre-versioning files without a "version" field (legacy, read-only)
+//	v1 — same factor layout with an explicit version field
+//	v2 — adds the serving-snapshot generation
+//
+// Load accepts v0 through FormatVersion and rejects anything newer with
+// ErrFormatVersion, so a model saved by a future build fails loudly instead
+// of being silently misread.
+const FormatVersion = 2
 
-// Save writes the model as JSON to w.
-func (m *Model) Save(w io.Writer) error {
+// ErrFormatVersion is the sentinel wrapped by Load when a model file's format
+// version is not readable by this build. Test with errors.Is.
+var ErrFormatVersion = errors.New("core: unsupported model format version")
+
+// Save writes the model as JSON to w at the current FormatVersion, with
+// generation 0 (an offline model). Serving layers that save live snapshots
+// should use SaveVersioned to preserve the generation across restarts.
+func (m *Model) Save(w io.Writer) error { return m.SaveVersioned(w, 0) }
+
+// SaveVersioned writes the model as JSON to w, recording the given
+// serving-snapshot generation.
+func (m *Model) SaveVersioned(w io.Writer, generation uint64) error {
 	mf := modelFile{
-		Version: currentModelVersion,
-		Rank:    m.Rank, I: m.I, J: m.J, K: m.K,
+		Version:    FormatVersion,
+		Generation: generation,
+		Rank:       m.Rank, I: m.I, J: m.J, K: m.K,
 		U1: m.U1.Data, U2: m.U2.Data, U3: m.U3.Data, H: m.H,
 		ZeroOut: m.ZeroOutFilter,
 	}
@@ -44,13 +70,16 @@ func (m *Model) Save(w io.Writer) error {
 }
 
 // SaveFile writes the model to a file, creating or truncating it.
-func (m *Model) SaveFile(path string) error {
+func (m *Model) SaveFile(path string) error { return m.SaveFileVersioned(path, 0) }
+
+// SaveFileVersioned is SaveFile with an explicit snapshot generation.
+func (m *Model) SaveFileVersioned(path string, generation uint64) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("core: creating %s: %w", path, err)
 	}
 	bw := bufio.NewWriter(f)
-	if err := m.Save(bw); err != nil {
+	if err := m.SaveVersioned(bw, generation); err != nil {
 		f.Close()
 		return err
 	}
@@ -64,30 +93,39 @@ func (m *Model) SaveFile(path string) error {
 	return nil
 }
 
-// Load reads a model previously written by Save.
+// Load reads a model previously written by Save (any format version up to
+// FormatVersion; see FormatVersion for the legacy policy).
 func Load(r io.Reader) (*Model, error) {
+	m, _, err := LoadVersioned(r)
+	return m, err
+}
+
+// LoadVersioned is Load, additionally returning the serving-snapshot
+// generation recorded in the file (0 for offline saves and legacy formats).
+func LoadVersioned(r io.Reader) (*Model, uint64, error) {
 	var mf modelFile
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&mf); err != nil {
-		return nil, fmt.Errorf("core: decoding model: %w", err)
+		return nil, 0, fmt.Errorf("core: decoding model: %w", err)
 	}
-	if mf.Version != currentModelVersion {
-		return nil, fmt.Errorf("core: unsupported model version %d (want %d)", mf.Version, currentModelVersion)
+	if mf.Version < 0 || mf.Version > FormatVersion {
+		return nil, 0, fmt.Errorf("%w: file is v%d, this build reads v0-v%d",
+			ErrFormatVersion, mf.Version, FormatVersion)
 	}
 	if mf.Rank <= 0 || mf.I <= 0 || mf.J <= 0 || mf.K <= 0 {
-		return nil, fmt.Errorf("core: model file has invalid shape %dx%dx%d rank %d", mf.I, mf.J, mf.K, mf.Rank)
+		return nil, 0, fmt.Errorf("core: model file has invalid shape %dx%dx%d rank %d", mf.I, mf.J, mf.K, mf.Rank)
 	}
 	if len(mf.U1) != mf.I*mf.Rank || len(mf.U2) != mf.J*mf.Rank ||
 		len(mf.U3) != mf.K*mf.Rank || len(mf.H) != mf.Rank {
-		return nil, fmt.Errorf("core: model file factor lengths inconsistent with shape")
+		return nil, 0, fmt.Errorf("core: model file factor lengths inconsistent with shape")
 	}
 	if mf.ZeroOut != nil {
 		if len(mf.ZeroOut) != mf.I {
-			return nil, fmt.Errorf("core: zero-out filter covers %d users, want %d", len(mf.ZeroOut), mf.I)
+			return nil, 0, fmt.Errorf("core: zero-out filter covers %d users, want %d", len(mf.ZeroOut), mf.I)
 		}
 		for i, row := range mf.ZeroOut {
 			if len(row) != mf.J {
-				return nil, fmt.Errorf("core: zero-out row %d covers %d POIs, want %d", i, len(row), mf.J)
+				return nil, 0, fmt.Errorf("core: zero-out row %d covers %d POIs, want %d", i, len(row), mf.J)
 			}
 		}
 	}
@@ -99,15 +137,21 @@ func Load(r io.Reader) (*Model, error) {
 		H:             mf.H,
 		ZeroOutFilter: mf.ZeroOut,
 	}
-	return m, nil
+	return m, mf.Generation, nil
 }
 
 // LoadFile reads a model from a file written by SaveFile.
 func LoadFile(path string) (*Model, error) {
+	m, _, err := LoadFileVersioned(path)
+	return m, err
+}
+
+// LoadFileVersioned is LoadFile, additionally returning the saved generation.
+func LoadFileVersioned(path string) (*Model, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("core: opening %s: %w", path, err)
+		return nil, 0, fmt.Errorf("core: opening %s: %w", path, err)
 	}
 	defer f.Close()
-	return Load(bufio.NewReader(f))
+	return LoadVersioned(bufio.NewReader(f))
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"path/filepath"
 	"strings"
@@ -57,6 +58,79 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("missing file must error")
+	}
+}
+
+func TestLoadAcceptsLegacyVersions(t *testing.T) {
+	// v0: files written before versioning carry no "version" field at all.
+	// v1: explicit version, same factor layout. Both must keep loading.
+	for name, payload := range map[string]string{
+		"v0 legacy":   `{"rank":1,"i":1,"j":2,"k":1,"u1":[1],"u2":[0.5,2],"u3":[1],"h":[1]}`,
+		"v1 explicit": `{"version":1,"rank":1,"i":1,"j":2,"k":1,"u1":[1],"u2":[0.5,2],"u3":[1],"h":[1]}`,
+	} {
+		m, gen, err := LoadVersioned(strings.NewReader(payload))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if gen != 0 {
+			t.Fatalf("%s: legacy generation = %d, want 0", name, gen)
+		}
+		if got := m.Predict(0, 1, 0); got != 2 {
+			t.Fatalf("%s: Predict = %g, want 2", name, got)
+		}
+	}
+}
+
+func TestLoadRejectsFutureFormatVersion(t *testing.T) {
+	payload := `{"version":99,"rank":1,"i":1,"j":1,"k":1,"u1":[0],"u2":[0],"u3":[0],"h":[0]}`
+	_, err := Load(strings.NewReader(payload))
+	if !errors.Is(err, ErrFormatVersion) {
+		t.Fatalf("future version error = %v, want ErrFormatVersion", err)
+	}
+	if !strings.Contains(err.Error(), "v99") {
+		t.Fatalf("error %q does not name the offending version", err)
+	}
+	if _, err := Load(strings.NewReader(`{"version":-1,"rank":1,"i":1,"j":1,"k":1,"u1":[0],"u2":[0],"u3":[0],"h":[0]}`)); !errors.Is(err, ErrFormatVersion) {
+		t.Fatalf("negative version error = %v, want ErrFormatVersion", err)
+	}
+}
+
+func TestSaveVersionedGenerationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomModel(3, 4, 2, 2, rng)
+	var buf bytes.Buffer
+	if err := m.SaveVersioned(&buf, 41); err != nil {
+		t.Fatal(err)
+	}
+	back, gen, err := LoadVersioned(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 41 {
+		t.Fatalf("generation = %d, want 41", gen)
+	}
+	if back.Predict(2, 3, 1) != m.Predict(2, 3, 1) {
+		t.Fatal("versioned round trip mismatch")
+	}
+
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := m.SaveFileVersioned(path, 7); err != nil {
+		t.Fatal(err)
+	}
+	_, gen, err = LoadFileVersioned(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 7 {
+		t.Fatalf("file generation = %d, want 7", gen)
+	}
+	// Offline saves record generation 0.
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	_, gen, err = LoadFileVersioned(path)
+	if err != nil || gen != 0 {
+		t.Fatalf("offline save generation = %d (%v), want 0", gen, err)
 	}
 }
 

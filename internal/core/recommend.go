@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tcss/internal/mat"
+)
+
+// RecScratch holds the reusable buffers of the allocation-free top-N
+// recommendation path: the factored scoring weights w = h ⊙ U1ᵢ ⊙ U3ₖ, a
+// generation-stamped skip bitmap over POIs, and the bounded top-K heap. One
+// scratch serves any number of sequential TopNScratch calls on models of the
+// same shape; buffers grow on demand, so a scratch can also be shared across
+// models (e.g. successive serving snapshots) as long as calls do not overlap.
+// A RecScratch must not be used concurrently; give each worker its own (the
+// serving layer pools them with sync.Pool).
+type RecScratch struct {
+	w []float64 // Rank: factored per-(user,time) scoring weights
+
+	// Skip bitmap with generation stamps: skipStamp[j] == stamp marks POI j
+	// excluded for the current call, so clearing is O(1) instead of O(J).
+	skipStamp []uint64
+	stamp     uint64
+
+	heap topKHeap
+}
+
+// NewRecScratch allocates buffers sized for m. Passing nil is allowed; the
+// buffers are then grown lazily by the first TopNScratch call.
+func NewRecScratch(m *Model) *RecScratch {
+	s := &RecScratch{}
+	if m != nil {
+		s.ensure(m)
+	}
+	return s
+}
+
+func (s *RecScratch) ensure(m *Model) {
+	if len(s.w) < m.Rank {
+		s.w = make([]float64, m.Rank)
+	}
+	if len(s.skipStamp) < m.J {
+		s.skipStamp = make([]uint64, m.J)
+		s.stamp = 0
+	}
+}
+
+// topKHeap is a bounded min-heap over (score, POI) pairs whose root is the
+// WORST retained candidate under the ranking order "score descending, POI
+// ascending". Because POI ids are unique the order is strict, so the heap
+// selects exactly the same top-n set — and, after the final sort, exactly the
+// same sequence — as sorting all candidates (Model.TopN's historical
+// behaviour), in O(J log n) instead of O(J log J) with no O(J) slice.
+type topKHeap struct {
+	pois   []int
+	scores []float64
+}
+
+// worse reports whether element a ranks strictly below element b.
+func (h *topKHeap) worse(a, b int) bool {
+	if h.scores[a] != h.scores[b] {
+		return h.scores[a] < h.scores[b]
+	}
+	return h.pois[a] > h.pois[b]
+}
+
+func (h *topKHeap) swap(a, b int) {
+	h.pois[a], h.pois[b] = h.pois[b], h.pois[a]
+	h.scores[a], h.scores[b] = h.scores[b], h.scores[a]
+}
+
+func (h *topKHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.worse(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *topKHeap) down(i int) {
+	n := len(h.pois)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.worse(l, min) {
+			min = l
+		}
+		if r < n && h.worse(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.swap(i, min)
+		i = min
+	}
+}
+
+// offer inserts (poi, score) if the heap has room or the candidate beats the
+// current worst retained element.
+func (h *topKHeap) offer(poi int, score float64, capacity int) {
+	if len(h.pois) < capacity {
+		h.pois = append(h.pois, poi)
+		h.scores = append(h.scores, score)
+		h.up(len(h.pois) - 1)
+		return
+	}
+	// Root is the worst retained; replace it iff the candidate ranks above it
+	// (higher score, or equal score with a smaller POI id).
+	if h.scores[0] < score || (h.scores[0] == score && h.pois[0] > poi) {
+		h.pois[0], h.scores[0] = poi, score
+		h.down(0)
+	}
+}
+
+// TopNScratch returns the n highest-scoring POIs for user i at time unit k,
+// excluding the POIs listed in skip, reusing s's buffers so steady-state calls
+// allocate only the returned slice. It is the scoring kernel behind both
+// Model.TopN and the serving layer's recommend handler: the per-(user,time)
+// weights w = h ⊙ U1ᵢ ⊙ U3ₖ are factored out once, each candidate POI costs a
+// single rank-length inner product (the ScoreCandidates kernel), and
+// candidates stream through a bounded top-K heap. The zero-out filter applies
+// exactly as in Score. Results are ordered by score descending with POI id
+// ascending as the tie-break — identical to sorting all candidates.
+func (m *Model) TopNScratch(i, k, n int, skip []int, s *RecScratch) []Recommendation {
+	if i < 0 || i >= m.I || k < 0 || k >= m.K {
+		panic(fmt.Sprintf("core: TopNScratch (user=%d, t=%d) out of model range %dx%d", i, k, m.I, m.K))
+	}
+	if n <= 0 {
+		return nil
+	}
+	s.ensure(m)
+	s.stamp++
+	for _, j := range skip {
+		if j >= 0 && j < m.J {
+			s.skipStamp[j] = s.stamp
+		}
+	}
+
+	w := s.w[:m.Rank]
+	u1, u3 := m.U1.Row(i), m.U3.Row(k)
+	for t := range w {
+		w[t] = m.H[t] * u1[t] * u3[t]
+	}
+
+	s.heap.pois = s.heap.pois[:0]
+	s.heap.scores = s.heap.scores[:0]
+	filter := m.ZeroOutFilter
+	for j := 0; j < m.J; j++ {
+		if s.skipStamp[j] == s.stamp {
+			continue
+		}
+		if filter != nil && !filter[i][j] {
+			continue
+		}
+		s.heap.offer(j, mat.DotUnrolled(w, m.U2.Row(j)), n)
+	}
+
+	// Drain the heap worst-first into the tail of the result slice.
+	out := make([]Recommendation, len(s.heap.pois))
+	for len(s.heap.pois) > 0 {
+		last := len(s.heap.pois) - 1
+		out[last] = Recommendation{POI: s.heap.pois[0], Score: s.heap.scores[0]}
+		s.heap.swap(0, last)
+		s.heap.pois = s.heap.pois[:last]
+		s.heap.scores = s.heap.scores[:last]
+		s.heap.down(0)
+	}
+	return out
+}
+
+// TopN returns the n highest-scoring POIs for user i at time unit k,
+// excluding the POIs in skip (typically the user's already-visited set). It
+// delegates to TopNScratch with a fresh scratch; callers on a hot path should
+// hold a RecScratch and call TopNScratch directly.
+func (m *Model) TopN(i, k, n int, skip map[int]bool) []Recommendation {
+	var skipList []int
+	if len(skip) > 0 {
+		skipList = make([]int, 0, len(skip))
+		for j, excluded := range skip {
+			if excluded {
+				skipList = append(skipList, j)
+			}
+		}
+		sort.Ints(skipList)
+	}
+	return m.TopNScratch(i, k, n, skipList, NewRecScratch(m))
+}

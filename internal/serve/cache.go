@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies one recommend response. The snapshot generation is part
+// of the key, so every snapshot swap implicitly invalidates all cached
+// entries — a stale generation can never be served. The server additionally
+// purges on swap so dead entries release memory immediately instead of aging
+// out of the LRU.
+type cacheKey struct {
+	gen     uint64
+	user, t int
+	n       int
+}
+
+// lruCache is a small mutex-guarded LRU over marshaled response bodies.
+// Storing the exact bytes written on the miss path keeps hit responses
+// byte-identical to miss responses for the same (generation, query).
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	items map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	body []byte
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached body for key, or nil.
+func (c *lruCache) get(key cacheKey) []byte {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body
+}
+
+// put stores body under key, evicting the least recently used entry when
+// full. The caller must not modify body afterwards.
+func (c *lruCache) put(key cacheKey, body []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+}
+
+// purge drops every entry (called on snapshot swap).
+func (c *lruCache) purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.items = make(map[cacheKey]*list.Element, c.cap)
+}
+
+// len reports the current entry count.
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,408 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"tcss/internal/lbsn"
+)
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/recommend", s.serveRecommend)
+	mux.HandleFunc("GET /v1/explain", s.serveExplain)
+	mux.HandleFunc("POST /v1/observe", s.serveObserve)
+	mux.HandleFunc("POST /v1/snapshot/save", s.serveSnapshotSave)
+	mux.HandleFunc("GET /healthz", s.serveHealthz)
+	mux.HandleFunc("GET /metrics", s.serveMetrics)
+	return mux
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {
+	s.met.badRequest.Add(1)
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// shed rejects with 503 + Retry-After, the bounded queue's overflow response.
+func (s *Server) shed(w http.ResponseWriter, what string) {
+	s.met.shed.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.opts.RetryAfter.Seconds()))))
+	writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: what + " at capacity, retry later"})
+}
+
+func (s *Server) deadline(w http.ResponseWriter) {
+	s.met.deadlineMissed.Add(1)
+	writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "request deadline exceeded"})
+}
+
+// intParam parses a required (or defaulted) integer query parameter.
+func intParam(r *http.Request, name string, def int, required bool) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		if required {
+			return 0, fmt.Errorf("missing required parameter %q", name)
+		}
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+// admitRead runs the shared read-path front door: per-request deadline,
+// bounded admission, and the test hold hook. On nil cleanup the response has
+// already been written.
+func (s *Server) admitRead(w http.ResponseWriter, r *http.Request) (context.Context, func()) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	switch s.adm.acquire(ctx) {
+	case shedOverflow:
+		cancel()
+		s.shed(w, "read queue")
+		return nil, nil
+	case shedDeadline:
+		cancel()
+		s.deadline(w)
+		return nil, nil
+	}
+	if s.opts.holdForTest != nil {
+		s.opts.holdForTest()
+	}
+	if ctx.Err() != nil {
+		s.adm.release()
+		cancel()
+		s.deadline(w)
+		return nil, nil
+	}
+	return ctx, func() { s.adm.release(); cancel() }
+}
+
+// recommendResponse is the body of GET /v1/recommend. It carries no volatile
+// fields, so cached bytes are byte-identical to freshly computed ones for the
+// same (generation, query).
+type recommendResponse struct {
+	User       int              `json:"user"`
+	T          int              `json:"t"`
+	Generation uint64           `json:"generation"`
+	Results    []recommendation `json:"results"`
+}
+
+type recommendation struct {
+	POI   int     `json:"poi"`
+	Score float64 `json:"score"`
+}
+
+func (s *Server) serveRecommend(w http.ResponseWriter, r *http.Request) {
+	started := s.opts.now()
+	s.met.recommendTotal.Add(1)
+
+	snap := s.snap.load()
+	user, err := intParam(r, "user", 0, true)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	t, err := intParam(r, "t", 0, true)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	n, err := intParam(r, "n", s.opts.TopNDefault, false)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	if user < 0 || user >= snap.Model.I {
+		s.badRequest(w, "user %d out of range [0, %d)", user, snap.Model.I)
+		return
+	}
+	if t < 0 || t >= snap.Model.K {
+		s.badRequest(w, "t %d out of range [0, %d)", t, snap.Model.K)
+		return
+	}
+	if n <= 0 {
+		s.badRequest(w, "n must be positive, got %d", n)
+		return
+	}
+	if n > s.opts.MaxTopN {
+		n = s.opts.MaxTopN
+	}
+
+	key := cacheKey{gen: snap.Gen, user: user, t: t, n: n}
+	if body := s.cache.get(key); body != nil {
+		s.met.cacheHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "HIT")
+		w.Write(body)
+		s.met.recommendLat.observe(s.opts.now().Sub(started))
+		return
+	}
+	s.met.cacheMisses.Add(1)
+
+	_, release := s.admitRead(w, r)
+	if release == nil {
+		return
+	}
+	sc := s.getScratch()
+	recs := snap.Model.TopNScratch(user, t, n, snap.Side.OwnPOIs[user], sc)
+	s.putScratch(sc)
+	release()
+
+	resp := recommendResponse{
+		User: user, T: t, Generation: snap.Gen,
+		Results: make([]recommendation, len(recs)),
+	}
+	for i, rec := range recs {
+		resp.Results[i] = recommendation{POI: rec.POI, Score: rec.Score}
+	}
+	body, err := json.Marshal(&resp)
+	if err != nil {
+		s.met.internalErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	body = append(body, '\n')
+	s.cache.put(key, body)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "MISS")
+	w.Write(body)
+	s.met.recommendLat.observe(s.opts.now().Sub(started))
+}
+
+// explainResponse mirrors core.Explanation with JSON-safe distances: +Inf
+// (no friend/own POIs) marshals as null, which encoding/json cannot express
+// for a plain float64.
+type explainResponse struct {
+	User       int    `json:"user"`
+	POI        int    `json:"poi"`
+	T          int    `json:"t"`
+	Generation uint64 `json:"generation"`
+
+	Score            float64 `json:"score"`
+	VisitProbability float64 `json:"visit_probability"`
+	PeakT            int     `json:"peak_t"`
+	PeakScore        float64 `json:"peak_score"`
+
+	FriendVisited    bool     `json:"friend_visited"`
+	NearestFriendPOI int      `json:"nearest_friend_poi"`
+	NearestFriendKm  *float64 `json:"nearest_friend_km"`
+	OwnVisited       bool     `json:"own_visited"`
+	NearestOwnPOI    int      `json:"nearest_own_poi"`
+	NearestOwnKm     *float64 `json:"nearest_own_km"`
+	LocationEntropyW float64  `json:"location_entropy_weight"`
+}
+
+func finiteOrNil(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+func (s *Server) serveExplain(w http.ResponseWriter, r *http.Request) {
+	started := s.opts.now()
+	s.met.explainTotal.Add(1)
+
+	snap := s.snap.load()
+	user, err := intParam(r, "user", 0, true)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	poi, err := intParam(r, "poi", 0, true)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	t, err := intParam(r, "t", 0, true)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	if user < 0 || user >= snap.Model.I {
+		s.badRequest(w, "user %d out of range [0, %d)", user, snap.Model.I)
+		return
+	}
+	if poi < 0 || poi >= snap.Model.J {
+		s.badRequest(w, "poi %d out of range [0, %d)", poi, snap.Model.J)
+		return
+	}
+	if t < 0 || t >= snap.Model.K {
+		s.badRequest(w, "t %d out of range [0, %d)", t, snap.Model.K)
+		return
+	}
+
+	_, release := s.admitRead(w, r)
+	if release == nil {
+		return
+	}
+	ex := snap.Model.Explain(snap.Side, user, poi, t)
+	release()
+
+	writeJSON(w, http.StatusOK, explainResponse{
+		User: user, POI: poi, T: t, Generation: snap.Gen,
+		Score:            ex.Score,
+		VisitProbability: ex.VisitProbability,
+		PeakT:            ex.PeakTimeUnit,
+		PeakScore:        ex.PeakScore,
+		FriendVisited:    ex.FriendVisited,
+		NearestFriendPOI: ex.NearestFriendPOI,
+		NearestFriendKm:  finiteOrNil(ex.NearestFriendDist),
+		OwnVisited:       ex.OwnVisited,
+		NearestOwnPOI:    ex.NearestOwnPOI,
+		NearestOwnKm:     finiteOrNil(ex.NearestOwnDistance),
+		LocationEntropyW: ex.LocationEntropyW,
+	})
+	s.met.explainLat.observe(s.opts.now().Sub(started))
+}
+
+// observeRequest is the body of POST /v1/observe.
+type observeRequest struct {
+	CheckIns []observeCheckIn `json:"checkins"`
+}
+
+type observeCheckIn struct {
+	User  int `json:"user"`
+	POI   int `json:"poi"`
+	Month int `json:"month"`
+	Week  int `json:"week"`
+	Hour  int `json:"hour"`
+}
+
+type observeResponse struct {
+	Added      int    `json:"added"`
+	Generation uint64 `json:"generation"`
+}
+
+func (s *Server) serveObserve(w http.ResponseWriter, r *http.Request) {
+	started := s.opts.now()
+	s.met.observeTotal.Add(1)
+
+	var req observeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.badRequest(w, "decoding body: %v", err)
+		return
+	}
+	if len(req.CheckIns) == 0 {
+		s.badRequest(w, "no checkins in request")
+		return
+	}
+	snap := s.snap.load()
+	checkIns := make([]lbsn.CheckIn, len(req.CheckIns))
+	for i, c := range req.CheckIns {
+		ci := lbsn.CheckIn{User: c.User, POI: c.POI, Month: c.Month, Week: c.Week, Hour: c.Hour}
+		if c.User < 0 || c.User >= snap.Model.I {
+			s.badRequest(w, "checkin %d: user %d out of range [0, %d)", i, c.User, snap.Model.I)
+			return
+		}
+		if c.POI < 0 || c.POI >= snap.Model.J {
+			s.badRequest(w, "checkin %d: poi %d out of range [0, %d)", i, c.POI, snap.Model.J)
+			return
+		}
+		if k := s.gran.Index(ci); k < 0 || k >= snap.Model.K {
+			s.badRequest(w, "checkin %d: time unit %d out of range [0, %d)", i, k, snap.Model.K)
+			return
+		}
+		checkIns[i] = ci
+	}
+
+	cmd := writerCmd{checkIns: checkIns, reply: make(chan writerResult, 1)}
+	select {
+	case s.cmds <- cmd:
+	default:
+		s.shed(w, "observe queue")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	select {
+	case res := <-cmd.reply:
+		if res.err != nil {
+			s.met.internalErrors.Add(1)
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: res.err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, observeResponse{Added: res.added, Generation: res.gen})
+		s.met.observeLat.observe(s.opts.now().Sub(started))
+	case <-ctx.Done():
+		// The batch stays queued and will still be applied; the client just
+		// stopped waiting for confirmation.
+		s.deadline(w)
+	}
+}
+
+type saveResponse struct {
+	Path       string `json:"path"`
+	Generation uint64 `json:"generation"`
+}
+
+func (s *Server) serveSnapshotSave(w http.ResponseWriter, r *http.Request) {
+	if s.opts.SnapshotPath == "" {
+		s.badRequest(w, "snapshot saving is not configured (no snapshot path)")
+		return
+	}
+	cmd := writerCmd{save: true, reply: make(chan writerResult, 1)}
+	select {
+	case s.cmds <- cmd:
+	default:
+		s.shed(w, "observe queue")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	select {
+	case res := <-cmd.reply:
+		if res.err != nil {
+			s.met.internalErrors.Add(1)
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: res.err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, saveResponse{Path: s.opts.SnapshotPath, Generation: res.gen})
+	case <-ctx.Done():
+		s.deadline(w)
+	}
+}
+
+type healthResponse struct {
+	Status     string  `json:"status"`
+	Generation uint64  `json:"generation"`
+	AgeSeconds float64 `json:"snapshot_age_seconds"`
+}
+
+func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.load()
+	if snap == nil || snap.Model == nil {
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "no snapshot"})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		Generation: snap.Gen,
+		AgeSeconds: s.opts.now().Sub(snap.Created).Seconds(),
+	})
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.collectMetrics()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&m)
+}

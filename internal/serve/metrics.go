@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyRing keeps the last ringSize request latencies per request class and
+// computes percentiles over that window on scrape. A bounded window keeps
+// /metrics O(1) in memory over arbitrarily long uptimes while still tracking
+// the current tail behaviour.
+const ringSize = 4096
+
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   [ringSize]float64 // milliseconds
+	next  int
+	count int64 // total observations ever
+}
+
+func (r *latencyRing) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	r.mu.Lock()
+	r.buf[r.next] = ms
+	r.next = (r.next + 1) % ringSize
+	r.count++
+	r.mu.Unlock()
+}
+
+// percentiles returns the p50/p95/p99 of the current window in milliseconds,
+// or zeros when empty.
+func (r *latencyRing) percentiles() (p50, p95, p99 float64) {
+	r.mu.Lock()
+	n := int(r.count)
+	if n > ringSize {
+		n = ringSize
+	}
+	window := make([]float64, n)
+	copy(window, r.buf[:n])
+	r.mu.Unlock()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(window)
+	at := func(p float64) float64 {
+		idx := int(p*float64(n)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return window[idx]
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// metrics aggregates the server's observability counters. All counters are
+// atomics so the request path never takes a lock beyond the latency ring's.
+type metrics struct {
+	start time.Time
+
+	recommendTotal atomic.Int64
+	explainTotal   atomic.Int64
+	observeTotal   atomic.Int64
+
+	badRequest     atomic.Int64 // 400s
+	shed           atomic.Int64 // 503s from admission or observe queue
+	deadlineMissed atomic.Int64 // 504s
+	internalErrors atomic.Int64 // 500s
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	observeApplied atomic.Int64 // observe batches that swapped a snapshot
+	observeNoop    atomic.Int64 // observe batches with no new cells
+	observeAdded   atomic.Int64 // total new tensor cells folded in
+	snapshotSwaps  atomic.Int64
+	snapshotSaves  atomic.Int64
+
+	recommendLat latencyRing
+	explainLat   latencyRing
+	observeLat   latencyRing
+}
+
+// routeStats is the per-request-class block of the /metrics document.
+type routeStats struct {
+	Count int64   `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+// metricsSnapshot is the JSON document served by GET /metrics.
+type metricsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Recommend routeStats `json:"recommend"`
+	Explain   routeStats `json:"explain"`
+	Observe   routeStats `json:"observe"`
+
+	BadRequests    int64 `json:"bad_requests"`
+	Shed           int64 `json:"shed_503"`
+	DeadlineMissed int64 `json:"deadline_504"`
+	InternalErrors int64 `json:"internal_500"`
+
+	Cache struct {
+		Hits    int64   `json:"hits"`
+		Misses  int64   `json:"misses"`
+		HitRate float64 `json:"hit_rate"`
+		Entries int     `json:"entries"`
+	} `json:"cache"`
+
+	Snapshot struct {
+		Generation uint64  `json:"generation"`
+		AgeSeconds float64 `json:"age_seconds"`
+		Swaps      int64   `json:"swaps"`
+		Saves      int64   `json:"saves"`
+	} `json:"snapshot"`
+
+	ObserveStats struct {
+		Applied    int64 `json:"applied"`
+		Noop       int64 `json:"noop"`
+		CellsAdded int64 `json:"cells_added"`
+		QueueCap   int   `json:"queue_capacity"`
+		QueueLen   int   `json:"queue_length"`
+	} `json:"observe_pipeline"`
+
+	Admission struct {
+		Inflight    int64 `json:"inflight"`
+		Queued      int64 `json:"queued"`
+		MaxInflight int   `json:"max_inflight"`
+		MaxQueue    int   `json:"max_queue"`
+	} `json:"admission"`
+}
+
+func (s *Server) collectMetrics() metricsSnapshot {
+	m := s.met
+	var out metricsSnapshot
+	out.UptimeSeconds = s.opts.now().Sub(m.start).Seconds()
+
+	fill := func(dst *routeStats, total *atomic.Int64, ring *latencyRing) {
+		dst.Count = total.Load()
+		dst.P50ms, dst.P95ms, dst.P99ms = ring.percentiles()
+	}
+	fill(&out.Recommend, &m.recommendTotal, &m.recommendLat)
+	fill(&out.Explain, &m.explainTotal, &m.explainLat)
+	fill(&out.Observe, &m.observeTotal, &m.observeLat)
+
+	out.BadRequests = m.badRequest.Load()
+	out.Shed = m.shed.Load()
+	out.DeadlineMissed = m.deadlineMissed.Load()
+	out.InternalErrors = m.internalErrors.Load()
+
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	out.Cache.Hits, out.Cache.Misses = hits, misses
+	if hits+misses > 0 {
+		out.Cache.HitRate = float64(hits) / float64(hits+misses)
+	}
+	out.Cache.Entries = s.cache.len()
+
+	if snap := s.snap.load(); snap != nil {
+		out.Snapshot.Generation = snap.Gen
+		out.Snapshot.AgeSeconds = s.opts.now().Sub(snap.Created).Seconds()
+	}
+	out.Snapshot.Swaps = m.snapshotSwaps.Load()
+	out.Snapshot.Saves = m.snapshotSaves.Load()
+
+	out.ObserveStats.Applied = m.observeApplied.Load()
+	out.ObserveStats.Noop = m.observeNoop.Load()
+	out.ObserveStats.CellsAdded = m.observeAdded.Load()
+	out.ObserveStats.QueueCap = cap(s.cmds)
+	out.ObserveStats.QueueLen = len(s.cmds)
+
+	out.Admission.Inflight = s.adm.inflight.Load()
+	out.Admission.Queued = s.adm.waiting.Load()
+	out.Admission.MaxInflight = s.adm.maxInflight
+	out.Admission.MaxQueue = s.adm.maxQueue
+	return out
+}

@@ -1,0 +1,289 @@
+// Package serve is the online recommendation server: it puts a trained
+// tcss.Recommender behind an HTTP API (stdlib net/http only) built for heavy
+// read traffic with incremental freshness.
+//
+// Consistency model. The serving state is an immutable Snapshot (model
+// factors + side information + generation counter) held behind an atomic
+// pointer. Reads (recommend, explain) load the pointer once and score against
+// that snapshot for the whole request — lock-free, wait-free, and immune to
+// concurrent updates. All writes (observe batches, snapshot saves) funnel
+// through a single-writer update goroutine that applies
+// Recommender.Observe — itself transactional, producing fresh model/side
+// objects instead of mutating published ones — and atomically swaps in the
+// next-generation snapshot. Readers therefore never block on writers and
+// never see a half-updated model; every response is internally consistent
+// with exactly one generation, which the response reports.
+//
+// Load management. The read path runs behind a bounded admission queue
+// (MaxInflight scoring slots, MaxQueue waiters, 503 + Retry-After beyond
+// that), per-request deadlines (504 on expiry), a generation-keyed LRU
+// response cache that snapshot swaps invalidate wholesale, and pooled scoring
+// scratch (core.RecScratch) so steady-state requests allocate only their
+// response. Observability comes from /metrics (request counts, latency
+// percentiles over a ring-buffer window, cache hit rate, snapshot
+// generation/age, queue depths) and /healthz.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"tcss"
+	"tcss/internal/core"
+	"tcss/internal/lbsn"
+)
+
+// Options configures a Server. The zero value is usable: every field falls
+// back to the DefaultOptions value.
+type Options struct {
+	// TopNDefault is the result count when ?n= is omitted; MaxTopN caps it.
+	TopNDefault int
+	MaxTopN     int
+
+	// RequestTimeout is the per-request deadline applied on top of whatever
+	// deadline the client's context already carries.
+	RequestTimeout time.Duration
+
+	// MaxInflight bounds concurrently scoring read requests; MaxQueue bounds
+	// how many more may wait for a slot. Beyond that, requests are shed with
+	// 503 and a Retry-After of RetryAfter.
+	MaxInflight int
+	MaxQueue    int
+	RetryAfter  time.Duration
+
+	// CacheSize is the LRU capacity in responses; < 0 disables the cache.
+	CacheSize int
+
+	// ObserveQueue bounds buffered writer commands (observe/save batches);
+	// a full queue sheds observes with 503.
+	ObserveQueue int
+
+	// Online configures the incremental model update per observe batch.
+	Online tcss.OnlineConfig
+
+	// SnapshotPath, when set, enables POST /v1/snapshot/save, which persists
+	// the current model (with its generation) there via the versioned format.
+	SnapshotPath string
+
+	// FirstGeneration numbers the snapshot published at startup; a server
+	// restarted from a saved snapshot passes the loaded generation so the
+	// counter keeps rising across restarts.
+	FirstGeneration uint64
+
+	// now substitutes time.Now in tests.
+	now func() time.Time
+	// holdForTest, when set, runs on the read path after admission; tests
+	// use it to hold scoring slots open.
+	holdForTest func()
+}
+
+// DefaultOptions returns the serving defaults.
+func DefaultOptions() Options {
+	return Options{
+		TopNDefault:    10,
+		MaxTopN:        100,
+		RequestTimeout: 2 * time.Second,
+		MaxInflight:    4 * runtime.GOMAXPROCS(0),
+		MaxQueue:       256,
+		RetryAfter:     time.Second,
+		CacheSize:      8192,
+		ObserveQueue:   64,
+		Online:         tcss.DefaultOnlineConfig(),
+	}
+}
+
+func (o Options) withDefaults() Options {
+	def := DefaultOptions()
+	if o.TopNDefault <= 0 {
+		o.TopNDefault = def.TopNDefault
+	}
+	if o.MaxTopN <= 0 {
+		o.MaxTopN = def.MaxTopN
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = def.RequestTimeout
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = def.MaxInflight
+	}
+	if o.MaxQueue < 0 {
+		o.MaxQueue = def.MaxQueue
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = def.RetryAfter
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = def.CacheSize
+	}
+	if o.ObserveQueue <= 0 {
+		o.ObserveQueue = def.ObserveQueue
+	}
+	if o.Online.Epochs <= 0 || o.Online.LR <= 0 {
+		o.Online = def.Online
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// writerCmd is a command for the single-writer update goroutine.
+type writerCmd struct {
+	checkIns []lbsn.CheckIn    // observe batch; nil for a save command
+	save     bool              // persist the current snapshot to SnapshotPath
+	reply    chan writerResult // buffered(1); always receives exactly once
+}
+
+type writerResult struct {
+	added int
+	gen   uint64
+	err   error
+}
+
+// Server is the embeddable recommendation server. Create one with New,
+// expose Handler() on any net/http server, and Close it on shutdown.
+type Server struct {
+	opts Options
+	gran tcss.Granularity
+
+	// rec is owned by the writer goroutine after New returns; the read path
+	// only ever touches immutable snapshots.
+	rec *tcss.Recommender
+
+	snap  holder
+	cache *lruCache
+	met   *metrics
+	adm   *admission
+	cmds  chan writerCmd
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	mux   *http.ServeMux
+
+	scratch sync.Pool // *core.RecScratch
+
+	// onSwap, when set (tests), observes every published snapshot, including
+	// the initial one, from the publishing goroutine.
+	onSwap func(*Snapshot)
+}
+
+// New builds a Server around a fitted Recommender and starts its update
+// goroutine. The Recommender must not be used directly afterwards — the
+// server's writer goroutine owns it.
+func New(rec *tcss.Recommender, opts Options) (*Server, error) {
+	if rec == nil || rec.Model == nil || rec.Side == nil {
+		return nil, fmt.Errorf("serve: recommender is not fitted")
+	}
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		gran:  rec.Gran,
+		rec:   rec,
+		cache: newLRUCache(opts.CacheSize),
+		met:   &metrics{start: opts.now()},
+		adm:   newAdmission(opts.MaxInflight, opts.MaxQueue),
+		cmds:  make(chan writerCmd, opts.ObserveQueue),
+		quit:  make(chan struct{}),
+	}
+	s.publish(&Snapshot{
+		Gen:     opts.FirstGeneration,
+		Model:   rec.Model,
+		Side:    rec.Side,
+		Created: opts.now(),
+	})
+	s.mux = s.routes()
+	s.wg.Add(1)
+	go s.writerLoop()
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (all /v1, /metrics and /healthz
+// routes), suitable for http.Server or httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Generation returns the currently served snapshot generation.
+func (s *Server) Generation() uint64 { return s.snap.load().Gen }
+
+// Close stops the update goroutine. In-flight HTTP requests on the read path
+// are unaffected (they only touch snapshots); queued observes that have not
+// been picked up are answered with an error by their enqueuer's timeout.
+func (s *Server) Close() {
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// publish swaps in a new snapshot and invalidates the response cache. Called
+// by the writer goroutine (and once during New before it starts).
+func (s *Server) publish(snap *Snapshot) {
+	s.snap.store(snap)
+	s.cache.purge()
+	if s.onSwap != nil {
+		s.onSwap(snap)
+	}
+}
+
+// writerLoop is the single writer: it serializes every model mutation and
+// snapshot save, so UpdateOnline never races with itself and snapshot
+// generations observe a total order.
+func (s *Server) writerLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case cmd := <-s.cmds:
+			if cmd.save {
+				cmd.reply <- s.handleSave()
+				continue
+			}
+			cmd.reply <- s.handleObserve(cmd.checkIns)
+		}
+	}
+}
+
+func (s *Server) handleObserve(checkIns []lbsn.CheckIn) writerResult {
+	added, err := s.rec.Observe(checkIns, s.opts.Online)
+	cur := s.snap.load()
+	if err != nil {
+		return writerResult{gen: cur.Gen, err: err}
+	}
+	if added == 0 {
+		s.met.observeNoop.Add(1)
+		return writerResult{gen: cur.Gen}
+	}
+	next := &Snapshot{
+		Gen:     cur.Gen + 1,
+		Model:   s.rec.Model,
+		Side:    s.rec.Side,
+		Created: s.opts.now(),
+	}
+	s.publish(next)
+	s.met.snapshotSwaps.Add(1)
+	s.met.observeApplied.Add(1)
+	s.met.observeAdded.Add(int64(added))
+	return writerResult{added: added, gen: next.Gen}
+}
+
+func (s *Server) handleSave() writerResult {
+	snap := s.snap.load()
+	if s.opts.SnapshotPath == "" {
+		return writerResult{gen: snap.Gen, err: fmt.Errorf("serve: no snapshot path configured")}
+	}
+	if err := snap.Model.SaveFileVersioned(s.opts.SnapshotPath, snap.Gen); err != nil {
+		return writerResult{gen: snap.Gen, err: err}
+	}
+	s.met.snapshotSaves.Add(1)
+	return writerResult{gen: snap.Gen}
+}
+
+// getScratch returns a pooled scoring scratch; putScratch recycles it.
+func (s *Server) getScratch() *core.RecScratch {
+	if sc, ok := s.scratch.Get().(*core.RecScratch); ok {
+		return sc
+	}
+	return core.NewRecScratch(s.snap.load().Model)
+}
+
+func (s *Server) putScratch(sc *core.RecScratch) { s.scratch.Put(sc) }

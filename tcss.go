@@ -21,8 +21,10 @@
 package tcss
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"tcss/internal/core"
 	"tcss/internal/eval"
@@ -101,6 +103,10 @@ type Recommender struct {
 	Side  *core.SideInfo
 
 	cfg Config
+
+	// scratch pools the reusable top-N buffers so concurrent Recommend
+	// calls are allocation-free on the scoring path.
+	scratch sync.Pool
 }
 
 // Fit splits the dataset's check-in tensor 80/20, builds the social-spatial
@@ -130,6 +136,32 @@ func FitSplit(ds *Dataset, gran Granularity, cfg Config, trainFrac float64) (*Re
 	}, nil
 }
 
+// AttachModel pairs an already-trained model (e.g. loaded with LoadModel)
+// with its dataset, rebuilding the train/test split and side information the
+// Recommender needs, without retraining. The split is reproduced from
+// cfg.Seed and trainFrac, so a model trained by FitSplit and saved to disk
+// can be re-attached to the identical split after a restart. The model shape
+// must match the dataset's tensor at the given granularity.
+func AttachModel(m *Model, ds *Dataset, gran Granularity, cfg Config, trainFrac float64) (*Recommender, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("tcss: invalid dataset: %w", err)
+	}
+	full := ds.Tensor(gran)
+	if m.I != full.DimI || m.J != full.DimJ || m.K != full.DimK {
+		return nil, fmt.Errorf("tcss: model shape %dx%dx%d does not match dataset tensor %dx%dx%d",
+			m.I, m.J, m.K, full.DimI, full.DimJ, full.DimK)
+	}
+	train, test := full.Split(trainFrac, rand.New(rand.NewSource(cfg.Seed)))
+	side, err := core.BuildSideInfo(ds.Social, ds.Distances(), train)
+	if err != nil {
+		return nil, err
+	}
+	return &Recommender{
+		Model: m, Dataset: ds, Gran: gran,
+		Train: train, Test: test, Side: side, cfg: cfg,
+	}, nil
+}
+
 // Evaluate runs the paper's ranking protocol (100 random negatives, Hit@10,
 // per-user MRR) on the held-out check-ins.
 func (r *Recommender) Evaluate() Result {
@@ -149,13 +181,17 @@ func (s scorer) Score(i, j, k int) float64 { return s.m.Score(i, j, k) }
 func (r *Recommender) Score(i, j, k int) float64 { return r.Model.Score(i, j, k) }
 
 // Recommend returns the top-n POIs for a user at a time unit, excluding POIs
-// the user already visited in the training data.
+// the user already visited in the training data. The scoring path reuses
+// pooled scratch buffers (core.RecScratch), so it is allocation-free apart
+// from the returned slice and safe to call from many goroutines at once.
 func (r *Recommender) Recommend(user, timeUnit, n int) []Recommendation {
-	skip := make(map[int]bool)
-	for _, j := range r.Side.OwnPOIs[user] {
-		skip[j] = true
+	s, _ := r.scratch.Get().(*core.RecScratch)
+	if s == nil {
+		s = core.NewRecScratch(r.Model)
 	}
-	return r.Model.TopN(user, timeUnit, n, skip)
+	recs := r.Model.TopNScratch(user, timeUnit, n, r.Side.OwnPOIs[user], s)
+	r.scratch.Put(s)
+	return recs
 }
 
 // FriendPOIs returns the POIs the user's friends visited in training — the
@@ -179,28 +215,45 @@ type OnlineConfig = core.OnlineConfig
 // training configuration.
 func DefaultOnlineConfig() OnlineConfig { return core.DefaultOnlineConfig() }
 
+// ErrObserveReverted is the sentinel wrapped by Observe when the update could
+// not be applied atomically (the side-information rebuild failed after the
+// factor update succeeded). The Recommender is left exactly as it was before
+// the call — model, training tensor and side information all unchanged.
+var ErrObserveReverted = errors.New("tcss: observe reverted, recommender unchanged")
+
 // Observe folds new check-ins into the trained model without retraining from
 // scratch: the check-ins are added to the training tensor and the affected
 // user/POI factors are refined for a few epochs. Side information (friend
 // sets, entropy weights) is rebuilt so future updates and explanations see
 // the new data. It returns the number of genuinely new tensor cells.
+//
+// The update is transactional: it runs on private copies of the model and
+// training tensor, and the Recommender's model, tensor and side information
+// are swapped together only once every step has succeeded. On any error
+// (wrapped ErrObserveReverted if the failure came after the factor update)
+// the Recommender is untouched — there is no state where the model reflects
+// the new check-ins but the side information does not. Because the swapped-in
+// values are fresh objects, previously published references to Model/Side
+// (e.g. a serving snapshot) remain valid and internally consistent.
 func (r *Recommender) Observe(checkIns []lbsn.CheckIn, cfg OnlineConfig) (int, error) {
 	entries := make([]tensor.Entry, len(checkIns))
 	for n, c := range checkIns {
 		entries[n] = tensor.Entry{I: c.User, J: c.POI, K: r.Gran.Index(c), Val: 1}
 	}
-	added, err := r.Model.UpdateOnline(r.Train, entries, r.Side, cfg)
+	model, train := r.Model.Clone(), r.Train.Clone()
+	added, err := model.UpdateOnline(train, entries, r.Side, cfg)
 	if err != nil {
 		return 0, err
 	}
-	if added > 0 {
-		r.Dataset.CheckIns = append(r.Dataset.CheckIns, checkIns...)
-		side, err := core.BuildSideInfo(r.Dataset.Social, r.Dataset.Distances(), r.Train)
-		if err != nil {
-			return added, err
-		}
-		r.Side = side
+	if added == 0 {
+		return 0, nil
 	}
+	side, err := core.BuildSideInfo(r.Dataset.Social, r.Dataset.Distances(), train)
+	if err != nil {
+		return 0, fmt.Errorf("%w: rebuilding side info: %v", ErrObserveReverted, err)
+	}
+	r.Model, r.Train, r.Side = model, train, side
+	r.Dataset.CheckIns = append(r.Dataset.CheckIns, checkIns...)
 	return added, nil
 }
 
@@ -210,3 +263,8 @@ func (r *Recommender) SaveModel(path string) error { return r.Model.SaveFile(pat
 // LoadModel reads model parameters previously written by SaveModel. The
 // caller is responsible for pairing it with the matching dataset.
 func LoadModel(path string) (*Model, error) { return core.LoadFile(path) }
+
+// LoadModelVersioned is LoadModel plus the snapshot generation recorded at
+// save time (0 for offline saves and legacy files). A serving restart passes
+// the generation through so its counter keeps rising across restarts.
+func LoadModelVersioned(path string) (*Model, uint64, error) { return core.LoadFileVersioned(path) }

@@ -1,9 +1,12 @@
 package tcss
 
 import (
+	"errors"
 	"math"
 	"testing"
 
+	"tcss/internal/core"
+	"tcss/internal/graph"
 	"tcss/internal/lbsn"
 )
 
@@ -228,6 +231,112 @@ func TestObserveOnlineUpdate(t *testing.T) {
 	}
 	if !rec.Train.Has(newCI.User, newCI.POI, newCI.Month) {
 		t.Fatal("tensor must contain the new cell")
+	}
+}
+
+func TestObserveTransactionalRollback(t *testing.T) {
+	ds := smallDataset(t, 11)
+	cfg := quickConfig()
+	cfg.Epochs = 10
+	rec, err := Fit(ds, Month, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an unobserved cell so UpdateOnline itself succeeds.
+	var newCI lbsn.CheckIn
+	found := false
+	for u := 0; u < ds.NumUsers && !found; u++ {
+		for j := 0; j < len(ds.POIs) && !found; j++ {
+			if !rec.Train.Has(u, j, 0) {
+				newCI = lbsn.CheckIn{User: u, POI: j, Month: 0, Week: 0, Hour: 0}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Skip("no unobserved cell")
+	}
+	// Sabotage the side-information rebuild: a social graph that no longer
+	// covers the user dimension makes core.BuildSideInfo fail AFTER the
+	// factor update has succeeded.
+	goodSocial := rec.Dataset.Social
+	rec.Dataset.Social = graph.New(1)
+	modelBefore, trainBefore, sideBefore := rec.Model, rec.Train, rec.Side
+	scoreBefore := rec.Score(newCI.User, newCI.POI, 0)
+	checkInsBefore := len(rec.Dataset.CheckIns)
+
+	added, err := rec.Observe([]lbsn.CheckIn{newCI}, DefaultOnlineConfig())
+	if !errors.Is(err, ErrObserveReverted) {
+		t.Fatalf("err = %v, want ErrObserveReverted", err)
+	}
+	if added != 0 {
+		t.Fatalf("failed observe reported %d added cells", added)
+	}
+	if rec.Model != modelBefore || rec.Train != trainBefore || rec.Side != sideBefore {
+		t.Fatal("failed observe must leave model, tensor and side info untouched")
+	}
+	if rec.Train.Has(newCI.User, newCI.POI, 0) {
+		t.Fatal("failed observe leaked the new cell into the training tensor")
+	}
+	if got := rec.Score(newCI.User, newCI.POI, 0); got != scoreBefore {
+		t.Fatalf("failed observe moved the score %g -> %g", scoreBefore, got)
+	}
+	if len(rec.Dataset.CheckIns) != checkInsBefore {
+		t.Fatal("failed observe appended check-ins")
+	}
+
+	// With the graph restored the identical observe goes through, and the
+	// commit swaps fresh objects rather than mutating the published ones.
+	rec.Dataset.Social = goodSocial
+	added, err = rec.Observe([]lbsn.CheckIn{newCI}, DefaultOnlineConfig())
+	if err != nil || added != 1 {
+		t.Fatalf("observe after restore = %d, %v", added, err)
+	}
+	if rec.Model == modelBefore || rec.Train == trainBefore {
+		t.Fatal("successful observe must swap in fresh model and tensor objects")
+	}
+	if trainBefore.Has(newCI.User, newCI.POI, 0) {
+		t.Fatal("pre-observe tensor snapshot was mutated in place")
+	}
+}
+
+func TestAttachModelRoundTrip(t *testing.T) {
+	ds := smallDataset(t, 12)
+	cfg := quickConfig()
+	cfg.Epochs = 5
+	rec, err := Fit(ds, Month, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.json"
+	if err := rec.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := AttachModel(m, ds, Month, cfg, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Train.NNZ() != rec.Train.NNZ() || len(back.Test) != len(rec.Test) {
+		t.Fatalf("attach reproduced split %d/%d, want %d/%d",
+			back.Train.NNZ(), len(back.Test), rec.Train.NNZ(), len(rec.Test))
+	}
+	a, b := rec.Recommend(0, 3, 5), back.Recommend(0, 3, 5)
+	if len(a) != len(b) {
+		t.Fatalf("recommendation count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Shape mismatch must be rejected.
+	wrong := core.NewModel(m.I+1, m.J, m.K, m.Rank)
+	if _, err := AttachModel(wrong, ds, Month, cfg, 0.8); err == nil {
+		t.Fatal("mismatched model shape must be rejected")
 	}
 }
 
