@@ -6,7 +6,7 @@ GO ?= go
 KERNEL_BENCH = 'BenchmarkLoss(Naive|NegSampling|Rewritten)$$|BenchmarkLossRewrittenWorkers|BenchmarkHausdorffLoss|BenchmarkScoreSlab|BenchmarkMulBlocked|BenchmarkRank$$|BenchmarkSpectralInit|BenchmarkTrainEpoch|BenchmarkTopN(Alloc|Scratch)$$'
 
 .PHONY: build test race vet bench bench-all check gradcheck fuzz golden-update \
-	serve loadgen serve-bench serve-smoke
+	serve loadgen serve-bench serve-smoke resume-smoke bench-pr4
 
 build:
 	$(GO) build ./...
@@ -71,5 +71,24 @@ serve-bench:
 serve-smoke:
 	$(GO) run ./cmd/loadgen -preset gmu-5k -epochs 40 -conns 2 -duration 2s \
 		-observe-frac 0.01 -out /tmp/loadgen_smoke.json
+
+# Checkpoint/resume end-to-end smoke: train straight through, train again
+# but stop at the halfway checkpoint (simulating a kill), resume to the full
+# epoch count, and demand the two saved models are byte-identical — the
+# engine restores parameters, Adam moments, RNG position and epoch exactly.
+RESUME_DIR ?= /tmp/tcss_resume_smoke
+resume-smoke:
+	rm -rf $(RESUME_DIR) && mkdir -p $(RESUME_DIR)
+	$(GO) run ./cmd/tcss -preset gmu-5k -rank 4 -epochs 4 -save $(RESUME_DIR)/straight.json
+	$(GO) run ./cmd/tcss -preset gmu-5k -rank 4 -epochs 2 -checkpoint $(RESUME_DIR)/ck.json
+	$(GO) run ./cmd/tcss -preset gmu-5k -rank 4 -epochs 4 -resume $(RESUME_DIR)/ck.json -save $(RESUME_DIR)/resumed.json
+	cmp $(RESUME_DIR)/straight.json $(RESUME_DIR)/resumed.json
+	@echo "resume-smoke: resumed model byte-identical to straight-through run"
+
+# The PR 4 serving-freshness comparison (warm-start Observe vs retrain);
+# numbers recorded in BENCH_PR4.json.
+bench-pr4:
+	$(GO) test -run '^$$' -bench 'BenchmarkObserve(WarmStart|Retrain)' \
+		-benchmem -benchtime=3x -count=1 .
 
 check: build vet test race gradcheck fuzz

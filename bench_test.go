@@ -22,6 +22,7 @@ import (
 	"tcss/internal/experiments"
 	"tcss/internal/lbsn"
 	"tcss/internal/mat"
+	"tcss/internal/tensor"
 )
 
 // benchOptions trades fidelity for speed: quarter-scale presets and fewer
@@ -286,4 +287,84 @@ func BenchmarkDatasetGeneration(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// The PR 4 serving-freshness benchmarks (BENCH_PR4.json): keeping a served
+// model current via the engine's warm-start online update (what
+// Recommender.Observe does) versus the pre-engine alternative of retraining
+// from scratch on the grown tensor. Both report epochs/sec so the comparison
+// is per unit of optimization work as well as wall-clock per refresh.
+func observeBenchSetup(b *testing.B) (*Recommender, []lbsn.CheckIn, Config) {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.Epochs = 40
+	cfg.UsersPerEpoch = 40
+	cfg.Seed = 7
+	gen, err := lbsn.NewPreset("gowalla", 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen.Users, gen.POIs = gen.Users/4, gen.POIs/4
+	ds, err := lbsn.Generate(gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := Fit(ds, Month, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A batch of genuinely new cells, as a burst of fresh check-ins would be.
+	var fresh []lbsn.CheckIn
+	for u := 0; u < ds.NumUsers && len(fresh) < 16; u++ {
+		for j := 0; j < len(ds.POIs) && len(fresh) < 16; j++ {
+			if !rec.Train.Has(u, j, 5) {
+				fresh = append(fresh, lbsn.CheckIn{User: u, POI: j, Month: 5, Week: 22, Hour: 12})
+				break
+			}
+		}
+	}
+	if len(fresh) == 0 {
+		b.Fatal("no fresh cells available")
+	}
+	return rec, fresh, cfg
+}
+
+func BenchmarkObserveWarmStart(b *testing.B) {
+	rec, fresh, _ := observeBenchSetup(b)
+	online := DefaultOnlineConfig()
+	// Observe swaps in private copies on success; restoring the originals
+	// makes every iteration fold the same genuinely-new batch.
+	m0, t0, s0, ci0 := rec.Model, rec.Train, rec.Side, len(rec.Dataset.CheckIns)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rec.Observe(fresh, online); err != nil {
+			b.Fatal(err)
+		}
+		rec.Model, rec.Train, rec.Side = m0, t0, s0
+		rec.Dataset.CheckIns = rec.Dataset.CheckIns[:ci0]
+	}
+	b.ReportMetric(float64(online.Epochs)*float64(b.N)/b.Elapsed().Seconds(), "epochs/sec")
+}
+
+func BenchmarkObserveRetrain(b *testing.B) {
+	rec, fresh, cfg := observeBenchSetup(b)
+	entries := make([]tensor.Entry, len(fresh))
+	for n, c := range fresh {
+		entries[n] = tensor.Entry{I: c.User, J: c.POI, K: c.Month, Val: 1}
+	}
+	grown := rec.Train.Clone()
+	for _, e := range entries {
+		grown.Set(e.I, e.J, e.K, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		side, err := core.BuildSideInfo(rec.Dataset.Social, rec.Dataset.Distances(), grown)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Train(grown, side, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Epochs)*float64(b.N)/b.Elapsed().Seconds(), "epochs/sec")
 }

@@ -9,6 +9,8 @@
 //	tcss -data ./data/gowalla                    # same on a saved dataset
 //	tcss -preset yelp -variant self-hausdorff    # ablation variant
 //	tcss -preset gowalla -recommend 12 -time 5   # top POIs for user 12, June
+//	tcss -preset gowalla -checkpoint ck.json -checkpoint-every 50
+//	tcss -preset gowalla -resume ck.json         # continue a checkpointed run
 //
 // The serve subcommand starts the online recommendation HTTP server instead:
 //
@@ -44,6 +46,11 @@ func main() {
 		seed      = flag.Int64("seed", 7, "seed for generation, splitting and training")
 		recommend = flag.Int("recommend", -1, "print top-10 recommendations for this user id")
 		timeUnit  = flag.Int("time", 0, "time unit for -recommend")
+
+		checkpoint = flag.String("checkpoint", "", "write resumable training checkpoints to this file")
+		ckEvery    = flag.Int("checkpoint-every", 0, "checkpoint period in epochs (0 = final epoch only)")
+		resume     = flag.String("resume", "", "resume training from a checkpoint written by -checkpoint")
+		savePath   = flag.String("save", "", "save the trained model to this file")
 	)
 	flag.Parse()
 
@@ -78,6 +85,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tcss:", err)
 		os.Exit(1)
 	}
+	cfg.CheckpointPath = *checkpoint
+	cfg.CheckpointEvery = *ckEvery
+	cfg.ResumePath = *resume
 
 	s := ds.Summary()
 	fmt.Printf("dataset %s: users=%d pois=%d check-ins=%d density=%.4f%%\n",
@@ -93,6 +103,14 @@ func main() {
 	res := rec.Evaluate()
 	fmt.Printf("held-out evaluation: Hit@10=%.4f MRR=%.4f (%d test check-ins)\n",
 		res.HitAtK, res.MRR, len(rec.Test))
+
+	if *savePath != "" {
+		if err := rec.SaveModel(*savePath); err != nil {
+			fmt.Fprintln(os.Stderr, "tcss:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("model saved to %s\n", *savePath)
+	}
 
 	if *recommend >= 0 {
 		if *recommend >= ds.NumUsers {

@@ -37,6 +37,10 @@ Flags:
 		modelPath = fs.String("model", "", "serve a saved model instead of training; its recorded generation is resumed")
 		snapshot  = fs.String("snapshot", "", "enable POST /v1/snapshot/save writing the model (with generation) here")
 
+		checkpoint = fs.String("checkpoint", "", "write resumable mid-train checkpoints to this file while training")
+		ckEvery    = fs.Int("checkpoint-every", 0, "checkpoint period in epochs (0 = final epoch only)")
+		resume     = fs.String("resume", "", "resume the pre-serve training from a checkpoint")
+
 		topN        = fs.Int("topn", 0, "default result count for /v1/recommend (0 = server default)")
 		cacheSize   = fs.Int("cache", 0, "response cache capacity (0 = server default, negative disables)")
 		maxInflight = fs.Int("max-inflight", 0, "concurrent scoring requests (0 = server default)")
@@ -83,6 +87,12 @@ Flags:
 		firstGen = gen
 		fmt.Printf("loaded model %s (generation %d)\n", *modelPath, gen)
 	} else {
+		// A killed serve process can restart with -resume pointing at the
+		// periodic mid-train snapshot and continue training where it left
+		// off instead of starting over.
+		cfg.CheckpointPath = *checkpoint
+		cfg.CheckpointEvery = *ckEvery
+		cfg.ResumePath = *resume
 		s := ds.Summary()
 		fmt.Printf("dataset %s: users=%d pois=%d check-ins=%d\n", ds.Name, s.Users, s.POIs, s.CheckIns)
 		fmt.Printf("training TCSS (rank=%d, epochs=%d)...\n", cfg.Rank, cfg.Epochs)

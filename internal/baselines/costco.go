@@ -5,10 +5,9 @@ import (
 	"math"
 	"math/rand"
 
-	"tcss/internal/core"
 	"tcss/internal/nn"
-	"tcss/internal/opt"
 	"tcss/internal/tensor"
+	"tcss/internal/train"
 )
 
 // CoSTCo (Liu et al., KDD 2019) is a convolutional tensor completion model:
@@ -39,34 +38,26 @@ func NewCoSTCo() *CoSTCo { return &CoSTCo{Channels: 8, LR: 0.01} }
 // Name implements Recommender.
 func (c *CoSTCo) Name() string { return "CoSTCo" }
 
-// Fit implements Recommender.
+// Fit implements Recommender. Training is a mini-batch run of the
+// internal/train engine; the raw convolution kernels join the layer
+// parameters as explicit engine groups.
 func (c *CoSTCo) Fit(ctx *Context) error {
 	x := ctx.Train
 	r := ctx.Rank
 	if r <= 0 {
 		return fmt.Errorf("baselines: CoSTCo needs positive rank, got %d", r)
 	}
-	rng := rand.New(rand.NewSource(ctx.Seed))
-	c.build([3]int{x.DimI, x.DimJ, x.DimK}, r, rng)
+	rng := train.NewRNG(ctx.Seed)
+	c.build([3]int{x.DimI, x.DimJ, x.DimK}, r, rng.Rand)
 
-	optim := opt.NewAdam(c.LR, 0)
-	epochs := ctx.Epochs
-	if epochs <= 0 {
-		epochs = 10
-	}
-	for epoch := 0; epoch < epochs; epoch++ {
-		negs, err := core.SampleNegatives(x, x.NNZ(), rng)
-		if err != nil {
-			return err
-		}
-		batch := append(append([]tensor.Entry{}, x.Entries()...), negs...)
-		rng.Shuffle(len(batch), func(a, b int) { batch[a], batch[b] = batch[b], batch[a] })
-		for s, e := range batch {
-			c.trainStep(e)
-			if (s+1)%batchSize == 0 || s == len(batch)-1 {
-				c.step(optim)
-			}
-		}
+	groups := layerGroups(train.GroupSet{
+		{Name: "costco.w1", Value: c.w1, Grad: c.gw1},
+		{Name: "costco.b1", Value: c.b1, Grad: c.gb1},
+		{Name: "costco.w2", Value: c.w2, Grad: c.gw2},
+		{Name: "costco.b2", Value: c.b2, Grad: c.gb2},
+	}, c.emb[0], c.emb[1], c.emb[2], c.head)
+	if err := fitEngine(ctx, c.LR, groups, c.trainStep, rng); err != nil {
+		return err
 	}
 	c.fit = true
 	return nil
@@ -112,20 +103,6 @@ func (c *CoSTCo) zeroGrad() {
 	c.emb[1].ZeroGrad()
 	c.emb[2].ZeroGrad()
 	c.head.ZeroGrad()
-}
-
-// step applies one optimizer update to every parameter group and clears the
-// gradient accumulators.
-func (c *CoSTCo) step(optim opt.Optimizer) {
-	optim.Step("costco.w1", c.w1, c.gw1)
-	optim.Step("costco.b1", c.b1, c.gb1)
-	optim.Step("costco.w2", c.w2, c.gw2)
-	optim.Step("costco.b2", c.b2, c.gb2)
-	zeroSlice(c.gw1)
-	zeroSlice(c.gb1)
-	zeroSlice(c.gw2)
-	zeroSlice(c.gb2)
-	nn.StepAll(optim, c.emb[0], c.emb[1], c.emb[2], c.head)
 }
 
 func xavierSlice(n, fan int, rng *rand.Rand) []float64 {
@@ -190,7 +167,7 @@ func (c *CoSTCo) forward(i, j, k int) *costcoCache {
 	return cc
 }
 
-func (c *CoSTCo) trainStep(e tensor.Entry) {
+func (c *CoSTCo) trainStep(e tensor.Entry) float64 {
 	cc := c.forward(e.I, e.J, e.K)
 	pred := nn.SigmoidF(cc.logit)
 	dLogit := pred - e.Val
@@ -231,6 +208,7 @@ func (c *CoSTCo) trainStep(e tensor.Entry) {
 	c.emb[0].Accumulate(e.I, dStack[:r])
 	c.emb[1].Accumulate(e.J, dStack[r:2*r])
 	c.emb[2].Accumulate(e.K, dStack[2*r:])
+	return logLoss(cc.logit, e.Val)
 }
 
 func zeroSlice(x []float64) {

@@ -5,10 +5,9 @@ import (
 	"math"
 	"math/rand"
 
-	"tcss/internal/core"
 	"tcss/internal/nn"
-	"tcss/internal/opt"
 	"tcss/internal/tensor"
+	"tcss/internal/train"
 )
 
 // NCF is Neural Collaborative Filtering (He et al., WWW 2017) extended to
@@ -37,40 +36,18 @@ func NewNCF() *NCF { return &NCF{Hidden: []int{32, 16}, LR: 0.01} }
 // Name implements Recommender.
 func (n *NCF) Name() string { return "NCF" }
 
-// Fit implements Recommender.
+// Fit implements Recommender. Training is a mini-batch run of the
+// internal/train engine over the network's flattened parameter groups.
 func (n *NCF) Fit(ctx *Context) error {
 	x := ctx.Train
 	r := ctx.Rank
 	if r <= 0 {
 		return fmt.Errorf("baselines: NCF needs positive rank, got %d", r)
 	}
-	rng := rand.New(rand.NewSource(ctx.Seed))
-	n.build([3]int{x.DimI, x.DimJ, x.DimK}, r, rng)
-
-	optim := opt.NewAdam(n.LR, 0)
-	epochs := ctx.Epochs
-	if epochs <= 0 {
-		epochs = 10
-	}
-	layers := n.layers()
-	for epoch := 0; epoch < epochs; epoch++ {
-		negs, err := core.SampleNegatives(x, x.NNZ(), rng)
-		if err != nil {
-			return err
-		}
-		batch := make([]tensor.Entry, 0, 2*x.NNZ())
-		batch = append(batch, x.Entries()...)
-		batch = append(batch, negs...)
-		rng.Shuffle(len(batch), func(a, b int) { batch[a], batch[b] = batch[b], batch[a] })
-		// Mini-batched updates: gradients accumulate over batchSize examples
-		// before each optimizer step, keeping the per-example cost at the
-		// size of the touched rows rather than the whole parameter set.
-		for s, e := range batch {
-			n.trainStep(e)
-			if (s+1)%batchSize == 0 || s == len(batch)-1 {
-				nn.StepAll(optim, layers...)
-			}
-		}
+	rng := train.NewRNG(ctx.Seed)
+	n.build([3]int{x.DimI, x.DimJ, x.DimK}, r, rng.Rand)
+	if err := fitEngine(ctx, n.LR, layerGroups(nil, n.layers()...), n.trainStep, rng); err != nil {
+		return err
 	}
 	n.fit = true
 	return nil
@@ -122,7 +99,7 @@ func (n *NCF) forward(i, j, k int) (logit float64, gmf, mlpIn, mlpOut, fuseIn []
 	return logit, gmf, mlpIn, mlpOut, fuseIn
 }
 
-func (n *NCF) trainStep(e tensor.Entry) {
+func (n *NCF) trainStep(e tensor.Entry) float64 {
 	i, j, k := e.I, e.J, e.K
 	logit, _, mlpIn, _, fuseIn := n.forward(i, j, k)
 	pred := nn.SigmoidF(logit)
@@ -148,6 +125,7 @@ func (n *NCF) trainStep(e tensor.Entry) {
 	n.embMLP[0].Accumulate(i, dMLPIn[:r])
 	n.embMLP[1].Accumulate(j, dMLPIn[r:2*r])
 	n.embMLP[2].Accumulate(k, dMLPIn[2*r:])
+	return logLoss(logit, e.Val)
 }
 
 // Score implements Recommender.
@@ -179,7 +157,8 @@ func NewNTM() *NTM { return &NTM{Hidden: []int{32}, LR: 0.01} }
 // Name implements Recommender.
 func (n *NTM) Name() string { return "NTM" }
 
-// Fit implements Recommender.
+// Fit implements Recommender. Training is a mini-batch run of the
+// internal/train engine over the network's flattened parameter groups.
 func (n *NTM) Fit(ctx *Context) error {
 	x := ctx.Train
 	r := ctx.Rank
@@ -187,34 +166,18 @@ func (n *NTM) Fit(ctx *Context) error {
 		return fmt.Errorf("baselines: NTM needs positive rank, got %d", r)
 	}
 	n.rank = r
-	rng := rand.New(rand.NewSource(ctx.Seed))
+	rng := train.NewRNG(ctx.Seed)
 	dims := [3]int{x.DimI, x.DimJ, x.DimK}
 	names := [3]string{"user", "poi", "time"}
 	for m := 0; m < 3; m++ {
-		n.emb[m] = nn.NewEmbedding("ntm."+names[m], dims[m], r, rng)
+		n.emb[m] = nn.NewEmbedding("ntm."+names[m], dims[m], r, rng.Rand)
 	}
-	n.mlp = nn.NewMLP("ntm.mlp", r, n.Hidden, 1, nn.ReLU, rng)
-	n.w = nn.NewDense("ntm.gcp", r, 1, rng)
+	n.mlp = nn.NewMLP("ntm.mlp", r, n.Hidden, 1, nn.ReLU, rng.Rand)
+	n.w = nn.NewDense("ntm.gcp", r, 1, rng.Rand)
 
-	optim := opt.NewAdam(n.LR, 0)
-	epochs := ctx.Epochs
-	if epochs <= 0 {
-		epochs = 10
-	}
-	layers := []nn.Layer{n.emb[0], n.emb[1], n.emb[2], n.mlp, n.w}
-	for epoch := 0; epoch < epochs; epoch++ {
-		negs, err := core.SampleNegatives(x, x.NNZ(), rng)
-		if err != nil {
-			return err
-		}
-		batch := append(append([]tensor.Entry{}, x.Entries()...), negs...)
-		rng.Shuffle(len(batch), func(a, b int) { batch[a], batch[b] = batch[b], batch[a] })
-		for s, e := range batch {
-			n.trainStep(e)
-			if (s+1)%batchSize == 0 || s == len(batch)-1 {
-				nn.StepAll(optim, layers...)
-			}
-		}
+	groups := layerGroups(nil, n.emb[0], n.emb[1], n.emb[2], n.mlp, n.w)
+	if err := fitEngine(ctx, n.LR, groups, n.trainStep, rng); err != nil {
+		return err
 	}
 	n.fit = true
 	return nil
@@ -230,7 +193,7 @@ func (n *NTM) product(i, j, k int) []float64 {
 	return prod
 }
 
-func (n *NTM) trainStep(e tensor.Entry) {
+func (n *NTM) trainStep(e tensor.Entry) float64 {
 	prod := n.product(e.I, e.J, e.K)
 	logit := n.w.Forward(prod)[0] + n.mlp.Forward(prod)[0]
 	pred := nn.SigmoidF(logit)
@@ -250,6 +213,7 @@ func (n *NTM) trainStep(e tensor.Entry) {
 	n.emb[0].Accumulate(e.I, du)
 	n.emb[1].Accumulate(e.J, dj)
 	n.emb[2].Accumulate(e.K, dk)
+	return logLoss(logit, e.Val)
 }
 
 // Score implements Recommender.
@@ -261,7 +225,8 @@ func (n *NTM) Score(i, j, k int) float64 {
 	return nn.SigmoidF(n.w.Forward(prod)[0] + n.mlp.Forward(prod)[0])
 }
 
-// logLoss is the numerically stable binary cross-entropy used by tests.
+// logLoss is the numerically stable binary cross-entropy reported per
+// training example (and checked directly by the gradient tests).
 func logLoss(logit, target float64) float64 {
 	// log(1+exp(-z)) for target 1, log(1+exp(z)) for target 0.
 	z := logit

@@ -2,11 +2,11 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"tcss/internal/opt"
 	"tcss/internal/tensor"
+	"tcss/internal/train"
 )
 
 // OnlineConfig controls incremental updates of an already-trained model when
@@ -34,6 +34,12 @@ func DefaultOnlineConfig() OnlineConfig {
 // (c) the social Hausdorff head restricted to the affected users when side
 // information is given. The tensor x is modified in place (the new entries
 // are inserted); the returned count is the number of genuinely new cells.
+//
+// The refinement is a warm-start run of the internal/train engine: the same
+// driver that powers offline training executes a short full-batch schedule
+// over three heads (fresh positives, sampled negatives, restricted social
+// head), starting from the model's current factors instead of a fresh
+// initialization.
 func (m *Model) UpdateOnline(x *tensor.COO, newEntries []tensor.Entry, side *SideInfo, cfg OnlineConfig) (int, error) {
 	if cfg.Epochs <= 0 || cfg.LR <= 0 {
 		return 0, fmt.Errorf("core: online update needs positive epochs and LR, got %d/%g", cfg.Epochs, cfg.LR)
@@ -67,40 +73,62 @@ func (m *Model) UpdateOnline(x *tensor.COO, newEntries []tensor.Entry, side *Sid
 	}
 	sort.Ints(users)
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	optim := opt.NewAdam(cfg.LR, 0)
+	rng := train.NewRNG(cfg.Seed)
 	grads := NewGrads(m)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		grads.Zero()
-		// New positives pulled toward 1.
+	groups := train.GroupSet{
+		{Name: "U1", Value: m.U1.Data, Grad: grads.DU1.Data},
+		{Name: "U2", Value: m.U2.Data, Grad: grads.DU2.Data},
+		{Name: "U3", Value: m.U3.Data, Grad: grads.DU3.Data},
+		{Name: "h", Value: m.H, Grad: grads.DH},
+	}
+
+	// New positives pulled toward 1.
+	heads := []train.Head{train.HeadFunc{W: 1, F: func(int) (float64, error) {
+		var loss float64
 		for _, e := range fresh {
 			pred := m.Predict(e.I, e.J, e.K)
+			d := pred - e.Val
+			loss += cfg.WPos * d * d
 			m.accumEntryGrad(grads, e.I, e.J, e.K, 2*cfg.WPos*(pred-e.Val))
 		}
-		// Sampled negatives keep the update from inflating everything.
+		return loss, nil
+	}}}
+	// Sampled negatives keep the update from inflating everything.
+	heads = append(heads, train.HeadFunc{W: 1, F: func(int) (float64, error) {
 		n := int(cfg.NegPerNew * float64(len(fresh)))
-		negs, err := SampleNegatives(x, n, rng)
+		negs, err := SampleNegatives(x, n, rng.Rand)
 		if err != nil {
 			return 0, err
 		}
+		var loss float64
 		for _, e := range negs {
 			pred := m.Predict(e.I, e.J, e.K)
+			loss += cfg.WNeg * pred * pred
 			m.accumEntryGrad(grads, e.I, e.J, e.K, 2*cfg.WNeg*pred)
 		}
-		if head != nil {
-			headGrads := NewGrads(m)
-			head.Loss(m, users, headGrads)
+		return loss, nil
+	}})
+	if head != nil {
+		headGrads := NewGrads(m)
+		heads = append(heads, train.HeadFunc{W: cfg.Lambda, F: func(int) (float64, error) {
+			headGrads.Zero()
+			l1 := head.Loss(m, users, headGrads)
 			grads.DU1.AddInPlace(headGrads.DU1.Scale(cfg.Lambda))
 			grads.DU2.AddInPlace(headGrads.DU2.Scale(cfg.Lambda))
 			grads.DU3.AddInPlace(headGrads.DU3.Scale(cfg.Lambda))
 			for t := range grads.DH {
 				grads.DH[t] += cfg.Lambda * headGrads.DH[t]
 			}
-		}
-		optim.Step("U1", m.U1.Data, grads.DU1.Data)
-		optim.Step("U2", m.U2.Data, grads.DU2.Data)
-		optim.Step("U3", m.U3.Data, grads.DU3.Data)
-		optim.Step("h", m.H, grads.DH)
+			return l1, nil
+		}})
+	}
+
+	driver, err := train.New(groups, heads, nil, opt.NewAdam(cfg.LR, 0), rng, train.Config{Epochs: cfg.Epochs})
+	if err != nil {
+		return 0, err
+	}
+	if err := driver.Run(); err != nil {
+		return 0, err
 	}
 	return len(fresh), nil
 }

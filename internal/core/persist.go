@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"tcss/internal/mat"
+	"tcss/internal/train"
 )
 
 // modelFile is the on-disk JSON representation of a trained model. The
@@ -30,6 +31,11 @@ type modelFile struct {
 	U3         []float64 `json:"u3"`
 	H          []float64 `json:"h"`
 	ZeroOut    [][]bool  `json:"zero_out,omitempty"`
+	// Train is the training-engine state of a mid-run checkpoint (v3+):
+	// optimizer moments, RNG stream position, and completed epochs. Plain
+	// model saves omit it; a file carrying it is still a complete model that
+	// Load reads as usual.
+	Train *train.State `json:"train,omitempty"`
 }
 
 // FormatVersion is the model persistence format written by this build:
@@ -37,11 +43,12 @@ type modelFile struct {
 //	v0 — pre-versioning files without a "version" field (legacy, read-only)
 //	v1 — same factor layout with an explicit version field
 //	v2 — adds the serving-snapshot generation
+//	v3 — adds the optional embedded training state for checkpoint/resume
 //
 // Load accepts v0 through FormatVersion and rejects anything newer with
 // ErrFormatVersion, so a model saved by a future build fails loudly instead
 // of being silently misread.
-const FormatVersion = 2
+const FormatVersion = 3
 
 // ErrFormatVersion is the sentinel wrapped by Load when a model file's format
 // version is not readable by this build. Test with errors.Is.
@@ -55,16 +62,51 @@ func (m *Model) Save(w io.Writer) error { return m.SaveVersioned(w, 0) }
 // SaveVersioned writes the model as JSON to w, recording the given
 // serving-snapshot generation.
 func (m *Model) SaveVersioned(w io.Writer, generation uint64) error {
+	return m.encode(w, generation, nil)
+}
+
+// SaveCheckpoint writes the model together with the training-engine state as
+// a FormatVersion 3 model file: a resumable checkpoint that doubles as a
+// complete model file. encoding/json round-trips float64 exactly, so a
+// resumed run continues bit-identically.
+func (m *Model) SaveCheckpoint(w io.Writer, st *train.State) error {
+	return m.encode(w, 0, st)
+}
+
+func (m *Model) encode(w io.Writer, generation uint64, st *train.State) error {
 	mf := modelFile{
 		Version:    FormatVersion,
 		Generation: generation,
 		Rank:       m.Rank, I: m.I, J: m.J, K: m.K,
 		U1: m.U1.Data, U2: m.U2.Data, U3: m.U3.Data, H: m.H,
 		ZeroOut: m.ZeroOutFilter,
+		Train:   st,
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(&mf); err != nil {
 		return fmt.Errorf("core: encoding model: %w", err)
+	}
+	return nil
+}
+
+// SaveCheckpointFile writes a resumable checkpoint to a file, creating or
+// truncating it.
+func (m *Model) SaveCheckpointFile(path string, st *train.State) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: creating %s: %w", path, err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := m.SaveCheckpoint(bw, st); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: flushing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: closing %s: %w", path, err)
 	}
 	return nil
 }
@@ -103,29 +145,58 @@ func Load(r io.Reader) (*Model, error) {
 // LoadVersioned is Load, additionally returning the serving-snapshot
 // generation recorded in the file (0 for offline saves and legacy formats).
 func LoadVersioned(r io.Reader) (*Model, uint64, error) {
+	m, mf, err := decodeModel(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, mf.Generation, nil
+}
+
+// LoadCheckpoint reads a model file, additionally returning the embedded
+// training-engine state when the file is a checkpoint (nil for plain model
+// files and all pre-v3 formats).
+func LoadCheckpoint(r io.Reader) (*Model, *train.State, error) {
+	m, mf, err := decodeModel(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, mf.Train, nil
+}
+
+// LoadCheckpointFile is LoadCheckpoint from a file.
+func LoadCheckpointFile(path string) (*Model, *train.State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return LoadCheckpoint(bufio.NewReader(f))
+}
+
+func decodeModel(r io.Reader) (*Model, modelFile, error) {
 	var mf modelFile
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&mf); err != nil {
-		return nil, 0, fmt.Errorf("core: decoding model: %w", err)
+		return nil, mf, fmt.Errorf("core: decoding model: %w", err)
 	}
 	if mf.Version < 0 || mf.Version > FormatVersion {
-		return nil, 0, fmt.Errorf("%w: file is v%d, this build reads v0-v%d",
+		return nil, mf, fmt.Errorf("%w: file is v%d, this build reads v0-v%d",
 			ErrFormatVersion, mf.Version, FormatVersion)
 	}
 	if mf.Rank <= 0 || mf.I <= 0 || mf.J <= 0 || mf.K <= 0 {
-		return nil, 0, fmt.Errorf("core: model file has invalid shape %dx%dx%d rank %d", mf.I, mf.J, mf.K, mf.Rank)
+		return nil, mf, fmt.Errorf("core: model file has invalid shape %dx%dx%d rank %d", mf.I, mf.J, mf.K, mf.Rank)
 	}
 	if len(mf.U1) != mf.I*mf.Rank || len(mf.U2) != mf.J*mf.Rank ||
 		len(mf.U3) != mf.K*mf.Rank || len(mf.H) != mf.Rank {
-		return nil, 0, fmt.Errorf("core: model file factor lengths inconsistent with shape")
+		return nil, mf, fmt.Errorf("core: model file factor lengths inconsistent with shape")
 	}
 	if mf.ZeroOut != nil {
 		if len(mf.ZeroOut) != mf.I {
-			return nil, 0, fmt.Errorf("core: zero-out filter covers %d users, want %d", len(mf.ZeroOut), mf.I)
+			return nil, mf, fmt.Errorf("core: zero-out filter covers %d users, want %d", len(mf.ZeroOut), mf.I)
 		}
 		for i, row := range mf.ZeroOut {
 			if len(row) != mf.J {
-				return nil, 0, fmt.Errorf("core: zero-out row %d covers %d POIs, want %d", i, len(row), mf.J)
+				return nil, mf, fmt.Errorf("core: zero-out row %d covers %d POIs, want %d", i, len(row), mf.J)
 			}
 		}
 	}
@@ -137,7 +208,7 @@ func LoadVersioned(r io.Reader) (*Model, uint64, error) {
 		H:             mf.H,
 		ZeroOutFilter: mf.ZeroOut,
 	}
-	return m, mf.Generation, nil
+	return m, mf, nil
 }
 
 // LoadFile reads a model from a file written by SaveFile.

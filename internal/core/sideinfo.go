@@ -59,6 +59,9 @@ func BuildSideInfo(social *graph.Graph, dist *geo.DistanceMatrix, train *tensor.
 		for _, c := range counts {
 			visits = append(visits, c)
 		}
+		// Map iteration order is randomized per process; the entropy sum is
+		// order-sensitive at the ulp level, so sort for reproducible models.
+		sort.Ints(visits)
 		entropyW[j] = geo.EntropyWeight(geo.LocationEntropy(visits))
 	}
 

@@ -7,6 +7,7 @@ import (
 	"tcss/internal/opt"
 	"tcss/internal/par"
 	"tcss/internal/tensor"
+	"tcss/internal/train"
 )
 
 // HausdorffVariant selects how (and whether) the social-spatial head is
@@ -98,6 +99,24 @@ type Config struct {
 	// current model and total loss — Figure 9's convergence curves hook in
 	// here.
 	EpochCallback func(epoch int, m *Model, loss float64)
+
+	// CheckpointPath, when non-empty, makes Train write resumable
+	// checkpoints (model factors plus engine state, persisted as a
+	// FormatVersion 3 model file) after every CheckpointEvery-th epoch and
+	// after the final one. A checkpoint file is also a complete model file:
+	// Load reads it, ignoring the training state.
+	CheckpointPath string
+
+	// CheckpointEvery is the epoch period of mid-run checkpoints (<= 0:
+	// final epoch only).
+	CheckpointEvery int
+
+	// ResumePath, when non-empty, makes Train continue a checkpointed run
+	// instead of initializing fresh factors: the model, optimizer moments,
+	// RNG stream position, and completed-epoch count are restored from the
+	// file and training proceeds up to Epochs. The resumed run is
+	// bit-identical to an uninterrupted one under the same Config.
+	ResumePath string
 }
 
 // DefaultConfig returns the default hyperparameters of this implementation.
@@ -152,16 +171,42 @@ func (c Config) Validate() error {
 	if c.NegSampling && c.NegPerPos <= 0 {
 		return fmt.Errorf("core: NegPerPos must be positive with NegSampling, got %g", c.NegPerPos)
 	}
+	if c.UsersPerEpoch < 0 {
+		return fmt.Errorf("core: UsersPerEpoch must be non-negative, got %d", c.UsersPerEpoch)
+	}
+	if c.ZeroOutSigmaFrac < 0 {
+		return fmt.Errorf("core: ZeroOutSigmaFrac must be non-negative, got %g", c.ZeroOutSigmaFrac)
+	}
 	if err := par.Validate(c.Workers); err != nil {
 		return err
 	}
 	return nil
 }
 
+// permInto fills buf[:n] with a pseudo-random permutation of [0, n),
+// consuming the exact RNG draws of rng.Perm(n) and producing the identical
+// permutation — it is that algorithm run into a caller-owned buffer, so the
+// per-epoch user subsample allocates nothing after the first epoch.
+func permInto(rng *rand.Rand, buf []int, n int) []int {
+	p := buf[:n]
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
 // Train fits a TCSS model to the observed training tensor with the given
 // side information. side may be nil only for variants that never touch it
 // (NoHausdorff with no zero-out filter would still need it for nothing); all
 // paper configurations pass it.
+//
+// Train is a composition over the internal/train engine: it builds the L2
+// head (whole-data or negative-sampling) and, for the social variants, the
+// weighted Hausdorff L1 head, exposes the factor matrices as named parameter
+// groups, and lets the engine drive epochs, clipping, Adam steps, LR
+// scheduling, callbacks, and checkpoint/resume.
 func Train(x *tensor.COO, side *SideInfo, cfg Config) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -170,10 +215,30 @@ func Train(x *tensor.COO, side *SideInfo, cfg Config) (*Model, error) {
 	if needSide && side == nil {
 		return nil, fmt.Errorf("core: variant %v requires side information", cfg.Variant)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	m := NewModel(x.DimI, x.DimJ, x.DimK, cfg.Rank)
-	if err := m.Initialize(cfg.Init, x, rng); err != nil {
-		return nil, err
+	rng := train.NewRNG(cfg.Seed)
+	var m *Model
+	var resume *train.State
+	if cfg.ResumePath != "" {
+		var err error
+		m, resume, err = LoadCheckpointFile(cfg.ResumePath)
+		if err != nil {
+			return nil, err
+		}
+		if resume == nil {
+			return nil, fmt.Errorf("core: %s has no training state to resume (plain model file)", cfg.ResumePath)
+		}
+		if m.I != x.DimI || m.J != x.DimJ || m.K != x.DimK || m.Rank != cfg.Rank {
+			return nil, fmt.Errorf("core: checkpoint shape %dx%dx%d rank %d does not match data %dx%dx%d rank %d",
+				m.I, m.J, m.K, m.Rank, x.DimI, x.DimJ, x.DimK, cfg.Rank)
+		}
+	} else {
+		m = NewModel(x.DimI, x.DimJ, x.DimK, cfg.Rank)
+		// The engine RNG consumes the same stream as the bare source the
+		// initializer always used; its draws are counted, so a resumed run
+		// fast-forwards past initialization too.
+		if err := m.Initialize(cfg.Init, x, rng.Rand); err != nil {
+			return nil, err
+		}
 	}
 
 	var head *Hausdorff
@@ -192,54 +257,48 @@ func Train(x *tensor.COO, side *SideInfo, cfg Config) (*Model, error) {
 		head.Epsilon = cfg.Eps
 	}
 
-	var optim opt.Optimizer = opt.NewAdam(cfg.LR, cfg.WeightDecay)
-	var scheduled *opt.Scheduled
-	if cfg.LRSchedule != nil {
-		var err error
-		scheduled, err = opt.NewScheduled(optim, cfg.LRSchedule)
-		if err != nil {
-			return nil, err
-		}
-		optim = scheduled
-	}
 	grads := NewGrads(m)
-	var headGrads *Grads
-	if head != nil && cfg.Lambda > 0 {
-		headGrads = NewGrads(m)
-	}
-	allUsers := make([]int, m.I)
-	for i := range allUsers {
-		allUsers[i] = i
+	groups := train.GroupSet{
+		{Name: "U1", Value: m.U1.Data, Grad: grads.DU1.Data},
+		{Name: "U2", Value: m.U2.Data, Grad: grads.DU2.Data},
+		{Name: "U3", Value: m.U3.Data, Grad: grads.DU3.Data},
+		{Name: "h", Value: m.H, Grad: grads.DH},
 	}
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		grads.Zero()
-		if scheduled != nil {
-			scheduled.SetEpoch(epoch)
-		}
-
-		var l2 float64
+	// Head order matters for the RNG stream: L2 draws its negatives before
+	// L1 draws its user subsample, exactly as the pre-engine loop did.
+	heads := []train.Head{train.HeadFunc{W: 1, F: func(int) (float64, error) {
 		if cfg.NegSampling {
 			n := int(cfg.NegPerPos * float64(x.NNZ()))
-			negs, err := SampleNegatives(x, n, rng)
+			negs, err := SampleNegatives(x, n, rng.Rand)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			l2 = m.NegSamplingLossWorkers(x, negs, cfg.WPos, cfg.WNeg, grads, cfg.Workers)
-		} else {
-			l2 = m.WholeDataLossWorkers(x, cfg.WPos, cfg.WNeg, grads, cfg.Workers)
+			return m.NegSamplingLossWorkers(x, negs, cfg.WPos, cfg.WNeg, grads, cfg.Workers), nil
 		}
+		return m.WholeDataLossWorkers(x, cfg.WPos, cfg.WNeg, grads, cfg.Workers), nil
+	}}}
 
-		var l1 float64
-		if headGrads != nil {
+	if head != nil && cfg.Lambda > 0 {
+		headGrads := NewGrads(m)
+		subsample := cfg.UsersPerEpoch > 0 && cfg.UsersPerEpoch < m.I
+		allUsers := make([]int, m.I)
+		for i := range allUsers {
+			allUsers[i] = i
+		}
+		var permBuf []int
+		if subsample {
+			permBuf = make([]int, m.I)
+		}
+		heads = append(heads, train.HeadFunc{W: cfg.Lambda, F: func(int) (float64, error) {
 			headGrads.Zero()
 			users := allUsers
 			scale := 1.0
-			if cfg.UsersPerEpoch > 0 && cfg.UsersPerEpoch < m.I {
-				users = rng.Perm(m.I)[:cfg.UsersPerEpoch]
+			if subsample {
+				users = permInto(rng.Rand, permBuf, m.I)[:cfg.UsersPerEpoch]
 				scale = float64(m.I) / float64(cfg.UsersPerEpoch)
 			}
-			l1 = head.LossWorkers(m, users, headGrads, cfg.Workers) * scale
+			l1 := head.LossWorkers(m, users, headGrads, cfg.Workers) * scale
 			w := cfg.Lambda * scale
 			grads.DU1.AddInPlace(headGrads.DU1.Scale(w))
 			grads.DU2.AddInPlace(headGrads.DU2.Scale(w))
@@ -247,19 +306,34 @@ func Train(x *tensor.COO, side *SideInfo, cfg Config) (*Model, error) {
 			for t := range grads.DH {
 				grads.DH[t] += w * headGrads.DH[t]
 			}
-		}
+			return l1, nil
+		}})
+	}
 
-		if cfg.GradClip > 0 {
-			opt.ClipGradNorm(cfg.GradClip, grads.DU1.Data, grads.DU2.Data, grads.DU3.Data, grads.DH)
+	tcfg := train.Config{
+		Epochs:          cfg.Epochs,
+		GradClip:        cfg.GradClip,
+		LRSchedule:      cfg.LRSchedule,
+		CheckpointEvery: cfg.CheckpointEvery,
+	}
+	if cfg.EpochCallback != nil {
+		tcfg.Callback = func(epoch int, loss float64) { cfg.EpochCallback(epoch, m, loss) }
+	}
+	if cfg.CheckpointPath != "" {
+		path := cfg.CheckpointPath
+		tcfg.Save = func(st train.State) error { return m.SaveCheckpointFile(path, &st) }
+	}
+	driver, err := train.New(groups, heads, nil, opt.NewAdam(cfg.LR, cfg.WeightDecay), rng, tcfg)
+	if err != nil {
+		return nil, err
+	}
+	if resume != nil {
+		if err := driver.Restore(*resume); err != nil {
+			return nil, err
 		}
-		optim.Step("U1", m.U1.Data, grads.DU1.Data)
-		optim.Step("U2", m.U2.Data, grads.DU2.Data)
-		optim.Step("U3", m.U3.Data, grads.DU3.Data)
-		optim.Step("h", m.H, grads.DH)
-
-		if cfg.EpochCallback != nil {
-			cfg.EpochCallback(epoch, m, cfg.Lambda*l1+l2)
-		}
+	}
+	if err := driver.Run(); err != nil {
+		return nil, err
 	}
 
 	if cfg.Variant == ZeroOut {

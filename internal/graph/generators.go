@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // ErdosRenyi returns a G(n, p) random graph: each of the n·(n-1)/2 possible
@@ -86,7 +87,16 @@ func BarabasiAlbert(n, m int, rng *rand.Rand) *Graph {
 				chosen[t] = struct{}{}
 			}
 		}
+		// Iterate the chosen set in sorted order: map order is randomized
+		// per process, and the append order below feeds later rng.Intn
+		// index lookups, so an unsorted walk would make the whole graph
+		// irreproducible across runs with the same seed.
+		picks := make([]int, 0, m)
 		for v := range chosen {
+			picks = append(picks, v)
+		}
+		sort.Ints(picks)
+		for _, v := range picks {
 			g.AddEdge(u, v)
 			endpoints = append(endpoints, u, v)
 		}

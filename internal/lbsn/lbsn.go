@@ -255,6 +255,8 @@ func (d *Dataset) LocationEntropies() []float64 {
 		for _, v := range m {
 			visits = append(visits, v)
 		}
+		// Sort so the entropy sum does not depend on map iteration order.
+		sort.Ints(visits)
 		out[j] = geo.LocationEntropy(visits)
 	}
 	return out

@@ -18,6 +18,47 @@ type Optimizer interface {
 	Step(name string, params, grads []float64)
 }
 
+// State is the serializable moment state of an optimizer, keyed by parameter
+// group name. Adam stores per-group step counts and first/second moments; SGD
+// stores its momentum velocities in M. The hyperparameters (learning rate,
+// betas, decay) are not part of the state — they belong to the training
+// configuration, which a resumed run must supply unchanged.
+type State struct {
+	// Algo names the algorithm that produced the state ("adam" or "sgd");
+	// Import rejects a mismatch so a checkpoint cannot silently resume under
+	// a different update rule.
+	Algo  string               `json:"algo"`
+	Steps map[string]int       `json:"steps,omitempty"`
+	M     map[string][]float64 `json:"m,omitempty"`
+	V     map[string][]float64 `json:"v,omitempty"`
+}
+
+// Stateful is implemented by optimizers whose moment state can round-trip
+// through a training checkpoint.
+type Stateful interface {
+	Optimizer
+	// Export returns a deep copy of the moment state.
+	Export() State
+	// Import replaces the moment state with a deep copy of st.
+	Import(st State) error
+}
+
+func copyFloats(src map[string][]float64) map[string][]float64 {
+	out := make(map[string][]float64, len(src))
+	for k, v := range src {
+		out[k] = append([]float64(nil), v...)
+	}
+	return out
+}
+
+func copyInts(src map[string]int) map[string]int {
+	out := make(map[string]int, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
 // SGD is stochastic gradient descent with optional momentum.
 type SGD struct {
 	LR       float64
@@ -30,6 +71,20 @@ type SGD struct {
 // (0 disables momentum).
 func NewSGD(lr, momentum float64) *SGD {
 	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[string][]float64)}
+}
+
+// Export implements Stateful: the velocities land in State.M.
+func (s *SGD) Export() State {
+	return State{Algo: "sgd", M: copyFloats(s.velocity)}
+}
+
+// Import implements Stateful.
+func (s *SGD) Import(st State) error {
+	if st.Algo != "sgd" {
+		return fmt.Errorf("opt: cannot import %q state into SGD", st.Algo)
+	}
+	s.velocity = copyFloats(st.M)
+	return nil
 }
 
 // Step applies one SGD update.
@@ -101,6 +156,29 @@ func (a *Adam) Step(name string, params, grads []float64) {
 		vHat := v[i] / c2
 		params[i] -= a.LR * (mHat/(math.Sqrt(vHat)+a.Eps) + a.WeightDecay*params[i])
 	}
+}
+
+// Export implements Stateful: a deep copy of the per-group step counts and
+// first/second moments, sufficient to continue a run bit-identically.
+func (a *Adam) Export() State {
+	return State{Algo: "adam", Steps: copyInts(a.steps), M: copyFloats(a.m), V: copyFloats(a.v)}
+}
+
+// Import implements Stateful.
+func (a *Adam) Import(st State) error {
+	if st.Algo != "adam" {
+		return fmt.Errorf("opt: cannot import %q state into Adam", st.Algo)
+	}
+	for name := range st.M {
+		if len(st.M[name]) != len(st.V[name]) {
+			return fmt.Errorf("opt: Adam state group %q has m/v length mismatch %d vs %d",
+				name, len(st.M[name]), len(st.V[name]))
+		}
+	}
+	a.steps = copyInts(st.Steps)
+	a.m = copyFloats(st.M)
+	a.v = copyFloats(st.V)
+	return nil
 }
 
 // Reset clears all moment state, e.g. between independent training runs that

@@ -129,3 +129,105 @@ func TestClipGradNorm(t *testing.T) {
 		t.Fatal("maxNorm=0 must disable clipping")
 	}
 }
+
+// TestAdamStateRoundTrip checkpoints an Adam mid-run and verifies that a
+// fresh optimizer importing the state continues bit-identically to the
+// original, while a run restarted without the state diverges.
+func TestAdamStateRoundTrip(t *testing.T) {
+	step := func(a *Adam, p, g []float64) {
+		for i := range g {
+			g[i] = 0.3*p[i] - 0.1
+		}
+		a.Step("w", p, g)
+	}
+	p1 := []float64{1, -2, 0.5}
+	g := make([]float64, len(p1))
+	a1 := NewAdam(0.05, 0.01)
+	for i := 0; i < 4; i++ {
+		step(a1, p1, g)
+	}
+	st := a1.Export()
+
+	p2 := append([]float64(nil), p1...)
+	a2 := NewAdam(0.05, 0.01)
+	if err := a2.Import(st); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the exported state after import must not alias the optimizer.
+	st.M["w"][0] = 999
+	pFresh := append([]float64(nil), p1...)
+	aFresh := NewAdam(0.05, 0.01)
+	for i := 0; i < 3; i++ {
+		step(a1, p1, g)
+		step(a2, p2, g)
+		step(aFresh, pFresh, g)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("imported state diverged at %d: %v vs %v", i, p1, p2)
+		}
+	}
+	same := true
+	for i := range p1 {
+		if p1[i] != pFresh[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("run restarted without moment state should diverge (bias correction restarts)")
+	}
+}
+
+func TestStateImportRejectsWrongAlgo(t *testing.T) {
+	if err := NewAdam(0.1, 0).Import(State{Algo: "sgd"}); err == nil {
+		t.Fatal("Adam must reject SGD state")
+	}
+	if err := NewSGD(0.1, 0.9).Import(State{Algo: "adam"}); err == nil {
+		t.Fatal("SGD must reject Adam state")
+	}
+}
+
+func TestSGDStateRoundTrip(t *testing.T) {
+	p1 := []float64{1, 2}
+	g := []float64{0.5, -0.5}
+	s1 := NewSGD(0.1, 0.9)
+	s1.Step("w", p1, g)
+	st := s1.Export()
+	s2 := NewSGD(0.1, 0.9)
+	if err := s2.Import(st); err != nil {
+		t.Fatal(err)
+	}
+	p2 := append([]float64(nil), p1...)
+	s1.Step("w", p1, g)
+	s2.Step("w", p2, g)
+	if p1[0] != p2[0] || p1[1] != p2[1] {
+		t.Fatalf("SGD velocity import diverged: %v vs %v", p1, p2)
+	}
+}
+
+// TestScheduledStateDelegates verifies Scheduled round-trips its inner
+// optimizer's state.
+func TestScheduledStateDelegates(t *testing.T) {
+	inner := NewAdam(0.1, 0)
+	sch, err := NewScheduled(inner, ExponentialSchedule{Gamma: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{1}
+	sch.Step("w", p, []float64{0.5})
+	st := sch.Export()
+	if st.Algo != "adam" || st.Steps["w"] != 1 {
+		t.Fatalf("Scheduled.Export = %+v, want delegated adam state", st)
+	}
+	inner2 := NewAdam(0.1, 0)
+	sch2, err := NewScheduled(inner2, ExponentialSchedule{Gamma: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch2.Import(st); err != nil {
+		t.Fatal(err)
+	}
+	if inner2.steps["w"] != 1 {
+		t.Fatal("Scheduled.Import must reach the wrapped optimizer")
+	}
+}

@@ -112,6 +112,24 @@ func NewScheduled(inner Optimizer, schedule Schedule) (*Scheduled, error) {
 // SetEpoch updates the multiplier applied by subsequent Steps.
 func (s *Scheduled) SetEpoch(epoch int) { s.epoch = epoch }
 
+// Export implements Stateful by delegating to the wrapped optimizer; the
+// schedule itself is stateless given the epoch, which the training engine
+// checkpoints separately.
+func (s *Scheduled) Export() State {
+	if s.adam != nil {
+		return s.adam.Export()
+	}
+	return s.sgd.Export()
+}
+
+// Import implements Stateful.
+func (s *Scheduled) Import(st State) error {
+	if s.adam != nil {
+		return s.adam.Import(st)
+	}
+	return s.sgd.Import(st)
+}
+
 // Step implements Optimizer.
 func (s *Scheduled) Step(name string, params, grads []float64) {
 	lr := s.baseLR * s.schedule.Factor(s.epoch)

@@ -1,0 +1,157 @@
+package train
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"tcss/internal/opt"
+)
+
+// State is the engine's serializable position within a run: everything
+// beyond the parameters themselves that a resumed run needs to continue
+// bit-identically. Parameters travel separately — embedded in a Checkpoint
+// for the generic format, or in the caller's own model persistence (core's
+// versioned model files).
+type State struct {
+	// Epoch is the number of completed epochs.
+	Epoch int `json:"epoch"`
+	// Opt is the optimizer's moment state (Adam first/second moments and
+	// per-group step counts, or SGD velocities).
+	Opt opt.State `json:"opt"`
+	// RNG is the engine RNG's stream position (zero-valued when the run is
+	// deterministic without randomness).
+	RNG RNGState `json:"rng"`
+}
+
+// CheckpointVersion is the on-disk format of the generic engine checkpoint
+// written by SaveCheckpoint. Version 1 is the initial format.
+const CheckpointVersion = 1
+
+// ErrCheckpointVersion is the sentinel wrapped by LoadCheckpoint for files
+// written by an incompatible build. Test with errors.Is.
+var ErrCheckpointVersion = errors.New("train: unsupported checkpoint version")
+
+// Checkpoint is the generic self-contained checkpoint: the engine state plus
+// every parameter group by name. Models with their own persistence format
+// (core.Model) store a State inside that format instead.
+type Checkpoint struct {
+	Version int `json:"version"`
+	State
+	Params map[string][]float64 `json:"params"`
+}
+
+// State returns the driver's current engine state. The optimizer must be
+// stateful (enforced at New when checkpointing is configured).
+func (d *Driver) State() State {
+	st := State{Epoch: d.epoch}
+	if s, ok := d.inner.(opt.Stateful); ok {
+		st.Opt = s.Export()
+	}
+	if d.rng != nil {
+		st.RNG = d.rng.State()
+	}
+	return st
+}
+
+// Restore repositions the driver at a previously exported State: the
+// optimizer moments are imported, the RNG is fast-forwarded to its recorded
+// draw count, and Run will continue from st.Epoch. The caller must have
+// already restored the parameter values (LoadCheckpoint does both).
+func (d *Driver) Restore(st State) error {
+	if st.Epoch < 0 || st.Epoch > d.cfg.Epochs {
+		return fmt.Errorf("train: checkpoint epoch %d outside run of %d epochs", st.Epoch, d.cfg.Epochs)
+	}
+	s, ok := d.inner.(opt.Stateful)
+	if !ok {
+		return fmt.Errorf("train: restore needs a stateful optimizer, got %T", d.inner)
+	}
+	if err := s.Import(st.Opt); err != nil {
+		return err
+	}
+	if d.rng != nil {
+		d.rng.Restore(st.RNG)
+	}
+	d.epoch = st.Epoch
+	return nil
+}
+
+// Checkpoint captures the full generic checkpoint: the engine state plus a
+// deep copy of every parameter group.
+func (d *Driver) Checkpoint() Checkpoint {
+	params := make(map[string][]float64)
+	for _, g := range d.model.Groups() {
+		params[g.Name] = append([]float64(nil), g.Value...)
+	}
+	return Checkpoint{Version: CheckpointVersion, State: d.State(), Params: params}
+}
+
+// SaveCheckpoint writes the generic checkpoint as JSON. float64 values
+// round-trip exactly through encoding/json (shortest round-trippable
+// decimal), so a restored run is bit-identical, which the resume tests
+// assert.
+func (d *Driver) SaveCheckpoint(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(d.Checkpoint()); err != nil {
+		return fmt.Errorf("train: encoding checkpoint: %w", err)
+	}
+	return nil
+}
+
+// SaveCheckpointFile writes the generic checkpoint to a file, creating or
+// truncating it.
+func (d *Driver) SaveCheckpointFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("train: creating %s: %w", path, err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := d.SaveCheckpoint(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("train: flushing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("train: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores a generic checkpoint into the driver: every
+// parameter group is copied back by name (all groups must be present with
+// matching lengths) and the engine state is restored.
+func (d *Driver) LoadCheckpoint(r io.Reader) error {
+	var ck Checkpoint
+	if err := json.NewDecoder(r).Decode(&ck); err != nil {
+		return fmt.Errorf("train: decoding checkpoint: %w", err)
+	}
+	if ck.Version != CheckpointVersion {
+		return fmt.Errorf("%w: file is v%d, this build reads v%d", ErrCheckpointVersion, ck.Version, CheckpointVersion)
+	}
+	for _, g := range d.model.Groups() {
+		vals, ok := ck.Params[g.Name]
+		if !ok {
+			return fmt.Errorf("train: checkpoint missing parameter group %q", g.Name)
+		}
+		if len(vals) != len(g.Value) {
+			return fmt.Errorf("train: checkpoint group %q has %d values, model wants %d", g.Name, len(vals), len(g.Value))
+		}
+		copy(g.Value, vals)
+	}
+	return d.Restore(ck.State)
+}
+
+// LoadCheckpointFile is LoadCheckpoint from a file.
+func (d *Driver) LoadCheckpointFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("train: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return d.LoadCheckpoint(bufio.NewReader(f))
+}

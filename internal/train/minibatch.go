@@ -1,0 +1,47 @@
+package train
+
+import (
+	"math/rand"
+
+	"tcss/internal/tensor"
+)
+
+// MiniBatch is the example-level SGD regime of the neural baselines: each
+// epoch draws a labeled example set, shuffles it with the engine RNG, runs
+// Step (forward + backward, accumulating layer gradients) per example, and
+// lets the driver apply the optimizer every BatchSize examples — keeping the
+// per-example cost at the size of the touched rows rather than the whole
+// parameter set.
+type MiniBatch struct {
+	// Examples produces the epoch's labeled examples (typically the observed
+	// positives plus freshly sampled negatives). It runs before the shuffle
+	// and may consume rng; both uses are part of the checkpointed stream.
+	Examples func(epoch int, rng *rand.Rand) ([]tensor.Entry, error)
+
+	// Step processes one example, accumulating parameter gradients, and
+	// returns the example's loss contribution.
+	Step func(e tensor.Entry) float64
+
+	// BatchSize is the gradient-accumulation window per optimizer step.
+	BatchSize int
+}
+
+// runBatchEpoch is one mini-batch epoch. The sequence — sample, shuffle,
+// per-example step with a partial trailing batch — reproduces the loop the
+// baselines used to hand-roll, so their pre-engine trajectories are preserved
+// bit for bit.
+func (d *Driver) runBatchEpoch(epoch int) (float64, error) {
+	batch, err := d.batch.Examples(epoch, d.rng.Rand)
+	if err != nil {
+		return 0, err
+	}
+	d.rng.Shuffle(len(batch), func(a, b int) { batch[a], batch[b] = batch[b], batch[a] })
+	var total float64
+	for s, e := range batch {
+		total += d.batch.Step(e)
+		if (s+1)%d.batch.BatchSize == 0 || s == len(batch)-1 {
+			d.stepGroups()
+		}
+	}
+	return total, nil
+}

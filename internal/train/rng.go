@@ -1,0 +1,75 @@
+package train
+
+import "math/rand"
+
+// RNG is a math/rand generator whose position in the stream is observable and
+// restorable, which is what makes a training run checkpointable: the engine
+// records (seed, draws consumed) and a resumed run fast-forwards a fresh
+// source by exactly that many draws.
+//
+// The wrapper is stream-transparent: it delegates to the seeded source that
+// rand.New(rand.NewSource(seed)) would use and implements rand.Source64, so
+// every rand.Rand method consumes the identical underlying sequence — a loop
+// that switches from a bare rand.Rand to an RNG reproduces its old trajectory
+// bit for bit. Counting works because each Int63/Uint64 call on the standard
+// source advances its state by exactly one step.
+//
+// An RNG is not safe for concurrent use, matching rand.Rand built over a
+// plain source.
+type RNG struct {
+	*rand.Rand
+	seed int64
+	src  *countingSource
+}
+
+// RNGState is the serializable position of an RNG.
+type RNGState struct {
+	Seed  int64  `json:"seed"`
+	Draws uint64 `json:"draws"`
+}
+
+// countingSource wraps the standard seeded source, counting state advances.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
+}
+
+// NewRNG returns a counting generator seeded like rand.New(rand.NewSource(seed)).
+func NewRNG(seed int64) *RNG {
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &RNG{Rand: rand.New(src), seed: seed, src: src}
+}
+
+// State returns the current stream position.
+func (r *RNG) State() RNGState { return RNGState{Seed: r.seed, Draws: r.src.draws} }
+
+// Restore repositions the generator at st by reseeding and discarding
+// st.Draws values. It mutates the RNG in place, so rand.Rand references
+// handed out earlier (e.g. closures capturing r.Rand) observe the restored
+// stream. The cost is one source advance per recorded draw — a few
+// nanoseconds each — which trades a fixed serialization format for exact
+// state recovery from an opaque source.
+func (r *RNG) Restore(st RNGState) {
+	r.seed = st.Seed
+	r.src.src = rand.NewSource(st.Seed).(rand.Source64)
+	r.src.draws = 0
+	for i := uint64(0); i < st.Draws; i++ {
+		r.src.src.Uint64()
+	}
+	r.src.draws = st.Draws
+}
