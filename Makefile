@@ -6,7 +6,7 @@ GO ?= go
 KERNEL_BENCH = 'BenchmarkLoss(Naive|NegSampling|Rewritten)$$|BenchmarkLossRewrittenWorkers|BenchmarkHausdorffLoss|BenchmarkScoreSlab|BenchmarkMulBlocked|BenchmarkRank$$|BenchmarkSpectralInit|BenchmarkTrainEpoch|BenchmarkTopN(Alloc|Scratch)$$'
 
 .PHONY: build test race vet bench bench-all check gradcheck fuzz golden-update \
-	serve loadgen serve-bench serve-smoke resume-smoke bench-pr4
+	serve loadgen serve-bench serve-smoke resume-smoke crash-smoke bench-pr4
 
 build:
 	$(GO) build ./...
@@ -84,6 +84,27 @@ resume-smoke:
 	$(GO) run ./cmd/tcss -preset gmu-5k -rank 4 -epochs 4 -resume $(RESUME_DIR)/ck.json -save $(RESUME_DIR)/resumed.json
 	cmp $(RESUME_DIR)/straight.json $(RESUME_DIR)/resumed.json
 	@echo "resume-smoke: resumed model byte-identical to straight-through run"
+
+# Crash-recovery end-to-end smoke: train straight through, train again with
+# an injected power loss 4096 bytes into the third checkpoint save (the
+# process dies with exit 137 mid-write), resume from the surviving rotation
+# ladder, and demand the resumed model is byte-identical to the
+# uninterrupted run. Uses a built binary, not `go run`, so the injected exit
+# code reaches the shell unmangled.
+CRASH_DIR ?= /tmp/tcss_crash_smoke
+crash-smoke:
+	rm -rf $(CRASH_DIR) && mkdir -p $(CRASH_DIR)
+	$(GO) build -o $(CRASH_DIR)/tcss ./cmd/tcss
+	$(CRASH_DIR)/tcss -preset gmu-5k -rank 4 -epochs 4 -save $(CRASH_DIR)/straight.json
+	$(CRASH_DIR)/tcss -preset gmu-5k -rank 4 -epochs 4 \
+		-checkpoint $(CRASH_DIR)/ck.json -checkpoint-every 1 -checkpoint-keep 2 \
+		-fault crash-save=3@4096; \
+	status=$$?; test $$status -eq 137 \
+		|| { echo "crash-smoke: want injected-crash exit 137, got $$status"; exit 1; }
+	$(CRASH_DIR)/tcss -preset gmu-5k -rank 4 -epochs 4 \
+		-resume $(CRASH_DIR)/ck.json -save $(CRASH_DIR)/resumed.json
+	cmp $(CRASH_DIR)/straight.json $(CRASH_DIR)/resumed.json
+	@echo "crash-smoke: resumed-after-crash model byte-identical to straight-through run"
 
 # The PR 4 serving-freshness comparison (warm-start Observe vs retrain);
 # numbers recorded in BENCH_PR4.json.

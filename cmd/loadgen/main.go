@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -50,15 +51,20 @@ type options struct {
 	users       int
 	pois        int
 	times       int
+	retries     int
+	retryCap    time.Duration
 	out         string
 }
 
-// sample is one completed request, classified for aggregation.
+// sample is one completed request, classified for aggregation. status and ms
+// describe the final attempt; retries counts the 503-and-retried attempts
+// before it.
 type sample struct {
 	observe  bool
 	status   int
 	ms       float64
 	cacheHit bool
+	retries  int
 }
 
 func main() {
@@ -77,6 +83,8 @@ func main() {
 	flag.IntVar(&o.users, "users", 0, "user id range for -url mode (ignored when self-hosting)")
 	flag.IntVar(&o.pois, "pois", 0, "poi id range for -url mode (ignored when self-hosting)")
 	flag.IntVar(&o.times, "times", 0, "time unit range for -url mode (ignored when self-hosting)")
+	flag.IntVar(&o.retries, "retries", 3, "max retries per request on 503 (0 disables)")
+	flag.DurationVar(&o.retryCap, "retry-cap", 500*time.Millisecond, "ceiling on per-retry backoff (Retry-After is clamped to this)")
 	flag.StringVar(&o.out, "out", "BENCH_PR3.json", "output JSON path")
 	flag.Parse()
 
@@ -157,6 +165,8 @@ func run(o options) (err error) {
 	fmt.Printf("observe: %d ok, %d shed; errors: %d shed_503, %d deadline_504, %d other\n",
 		report.Observe.OK, report.Observe.Shed,
 		report.Errors.Shed503, report.Errors.Deadline504, report.Errors.Other)
+	fmt.Printf("retries: %d recommend, %d observe (on 503, honoring Retry-After, cap %s)\n",
+		report.Recommend.Retries, report.Observe.Retries, o.retryCap)
 	fmt.Printf("wrote %s\n", o.out)
 	return nil
 }
@@ -281,35 +291,55 @@ func issue(o options, base string, client *http.Client, rng *rand.Rand) sample {
 				"hour":  rng.Intn(24),
 			}},
 		})
-		return timedPost(client, base+"/v1/observe", body)
+		s := timed(o, rng, func() (*http.Response, error) {
+			return client.Post(base+"/v1/observe", "application/json", bytes.NewReader(body))
+		})
+		s.observe = true
+		return s
 	}
 	url := fmt.Sprintf("%s/v1/recommend?user=%d&t=%d&n=%d",
 		base, rng.Intn(o.users), rng.Intn(o.times), o.topN)
-	return timedGet(client, url)
+	return timed(o, rng, func() (*http.Response, error) { return client.Get(url) })
 }
 
-func timedGet(client *http.Client, url string) sample {
+// timed issues one request with up to o.retries retries, retrying only on
+// 503 (shed or degraded). The wait before each retry is the larger of the
+// doubling client backoff and the server's Retry-After header, capped at
+// o.retryCap and jittered to [wait/2, wait) so retry storms decorrelate.
+// The returned latency covers the whole episode, backoff included.
+func timed(o options, rng *rand.Rand, send func() (*http.Response, error)) sample {
 	start := time.Now()
-	resp, err := client.Get(url)
-	s := sample{status: 0}
-	if err == nil {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+	var s sample
+	backoff := 25 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		resp, err := send()
+		if err != nil {
+			s.status = 0
+			break
+		}
 		s.status = resp.StatusCode
 		s.cacheHit = resp.Header.Get("X-Cache") == "HIT"
-	}
-	s.ms = float64(time.Since(start)) / float64(time.Millisecond)
-	return s
-}
-
-func timedPost(client *http.Client, url string, body []byte) sample {
-	start := time.Now()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	s := sample{observe: true, status: 0}
-	if err == nil {
+		retryAfter := resp.Header.Get("Retry-After")
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		s.status = resp.StatusCode
+		if s.status != http.StatusServiceUnavailable || attempt >= o.retries {
+			break
+		}
+		wait := backoff
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+			if ra := time.Duration(secs) * time.Second; ra > wait {
+				wait = ra
+			}
+		}
+		if wait > o.retryCap {
+			wait = o.retryCap
+		}
+		if half := wait / 2; half > 0 {
+			wait = half + time.Duration(rng.Int63n(int64(half)))
+		}
+		time.Sleep(wait)
+		backoff *= 2
+		s.retries++
 	}
 	s.ms = float64(time.Since(start)) / float64(time.Millisecond)
 	return s
@@ -317,19 +347,22 @@ func timedPost(client *http.Client, url string, body []byte) sample {
 
 // aggregate accumulates samples; single-goroutine (the collector).
 type aggregate struct {
-	recLat    []float64
-	recOK     int
-	recHits   int
-	obsOK     int
-	obsShed   int
-	obsBad    int
-	shed503   int
-	missed504 int
-	other     int
+	recLat     []float64
+	recOK      int
+	recHits    int
+	recRetries int
+	obsOK      int
+	obsShed    int
+	obsBad     int
+	obsRetries int
+	shed503    int
+	missed504  int
+	other      int
 }
 
 func (a *aggregate) add(s sample) {
 	if s.observe {
+		a.obsRetries += s.retries
 		switch s.status {
 		case http.StatusOK:
 			a.obsOK++
@@ -342,6 +375,7 @@ func (a *aggregate) add(s sample) {
 		}
 		return
 	}
+	a.recRetries += s.retries
 	switch s.status {
 	case http.StatusOK:
 		a.recOK++
@@ -369,6 +403,8 @@ type benchReport struct {
 		ObserveFrac float64 `json:"observe_frac"`
 		TopN        int     `json:"topn"`
 		Seed        int64   `json:"seed"`
+		Retries     int     `json:"retries"`
+		RetryCapMs  float64 `json:"retry_cap_ms"`
 	} `json:"config"`
 	Recommend struct {
 		OK           int     `json:"ok"`
@@ -377,11 +413,13 @@ type benchReport struct {
 		P95ms        float64 `json:"p95_ms"`
 		P99ms        float64 `json:"p99_ms"`
 		CacheHitFrac float64 `json:"client_cache_hit_frac"`
+		Retries      int     `json:"retries"`
 	} `json:"recommend"`
 	Observe struct {
-		OK   int `json:"ok"`
-		Shed int `json:"shed"`
-		Bad  int `json:"bad_request"`
+		OK      int `json:"ok"`
+		Shed    int `json:"shed"`
+		Bad     int `json:"bad_request"`
+		Retries int `json:"retries"`
 	} `json:"observe"`
 	Errors struct {
 		Shed503     int `json:"shed_503"`
@@ -407,6 +445,8 @@ func (a *aggregate) report(o options, elapsed time.Duration) benchReport {
 	r.Config.ObserveFrac = o.observeFrac
 	r.Config.TopN = o.topN
 	r.Config.Seed = o.seed
+	r.Config.Retries = o.retries
+	r.Config.RetryCapMs = float64(o.retryCap) / float64(time.Millisecond)
 
 	r.Recommend.OK = a.recOK
 	r.Recommend.RPS = float64(a.recOK) / elapsed.Seconds()
@@ -414,9 +454,11 @@ func (a *aggregate) report(o options, elapsed time.Duration) benchReport {
 	if a.recOK > 0 {
 		r.Recommend.CacheHitFrac = float64(a.recHits) / float64(a.recOK)
 	}
+	r.Recommend.Retries = a.recRetries
 	r.Observe.OK = a.obsOK
 	r.Observe.Shed = a.obsShed
 	r.Observe.Bad = a.obsBad
+	r.Observe.Retries = a.obsRetries
 	r.Errors.Shed503 = a.shed503
 	r.Errors.Deadline504 = a.missed504
 	r.Errors.Other = a.other

@@ -22,9 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"tcss"
+	"tcss/internal/fault"
 	"tcss/internal/lbsn"
 )
 
@@ -49,8 +51,10 @@ func main() {
 
 		checkpoint = flag.String("checkpoint", "", "write resumable training checkpoints to this file")
 		ckEvery    = flag.Int("checkpoint-every", 0, "checkpoint period in epochs (0 = final epoch only)")
+		ckKeep     = flag.Int("checkpoint-keep", 0, "rotated prior checkpoints to keep (path.1 ... path.N)")
 		resume     = flag.String("resume", "", "resume training from a checkpoint written by -checkpoint")
 		savePath   = flag.String("save", "", "save the trained model to this file")
+		faultSpec  = flag.String("fault", "", "inject a crash fault for testing: crash-save=N@B kills the process B bytes into the Nth checkpoint save")
 	)
 	flag.Parse()
 
@@ -87,7 +91,16 @@ func main() {
 	}
 	cfg.CheckpointPath = *checkpoint
 	cfg.CheckpointEvery = *ckEvery
+	cfg.CheckpointKeep = *ckKeep
 	cfg.ResumePath = *resume
+	if *faultSpec != "" {
+		fs, err := parseFaultSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcss:", err)
+			os.Exit(1)
+		}
+		cfg.FS = fs
+	}
 
 	s := ds.Summary()
 	fmt.Printf("dataset %s: users=%d pois=%d check-ins=%d density=%.4f%%\n",
@@ -124,6 +137,36 @@ func main() {
 				rank+1, r.POI, p.Category, p.Loc.Lat, p.Loc.Lon, r.Score)
 		}
 	}
+}
+
+// parseFaultSpec builds the injected-crash filesystem behind the -fault
+// flag. The only spec is "crash-save=N@B": simulate a power loss B bytes
+// into the Nth checkpoint save — the byte prefix lands on disk and the
+// process dies with exit code 137 (SIGKILL's conventional code), exactly
+// what the crash-smoke harness resumes from.
+func parseFaultSpec(spec string) (fault.FS, error) {
+	rest, ok := strings.CutPrefix(spec, "crash-save=")
+	if !ok {
+		return nil, fmt.Errorf("unknown -fault spec %q (want crash-save=N@B)", spec)
+	}
+	nStr, bStr, ok := strings.Cut(rest, "@")
+	if !ok {
+		return nil, fmt.Errorf("-fault crash-save wants N@B, got %q", rest)
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("-fault crash-save: bad save index %q", nStr)
+	}
+	b, err := strconv.ParseInt(bStr, 10, 64)
+	if err != nil || b < 1 {
+		return nil, fmt.Errorf("-fault crash-save: bad byte offset %q", bStr)
+	}
+	inj := fault.NewInjectFS(nil, fault.Plan{CrashFile: n, CrashAtByte: b})
+	inj.OnCrash = func() {
+		fmt.Fprintf(os.Stderr, "tcss: injected crash %d bytes into checkpoint save %d\n", b, n)
+		os.Exit(137)
+	}
+	return inj, nil
 }
 
 func loadDataset(preset, data string, seed int64) (*tcss.Dataset, error) {

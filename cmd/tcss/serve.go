@@ -1,10 +1,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"tcss"
@@ -36,10 +40,13 @@ Flags:
 		rank      = fs.Int("rank", 0, "embedding rank (0 = default 10)")
 		modelPath = fs.String("model", "", "serve a saved model instead of training; its recorded generation is resumed")
 		snapshot  = fs.String("snapshot", "", "enable POST /v1/snapshot/save writing the model (with generation) here")
+		snapKeep  = fs.Int("snapshot-keep", 0, "rotated prior snapshots to keep (path.1 ... path.N)")
 
 		checkpoint = fs.String("checkpoint", "", "write resumable mid-train checkpoints to this file while training")
 		ckEvery    = fs.Int("checkpoint-every", 0, "checkpoint period in epochs (0 = final epoch only)")
+		ckKeep     = fs.Int("checkpoint-keep", 0, "rotated prior checkpoints to keep (path.1 ... path.N)")
 		resume     = fs.String("resume", "", "resume the pre-serve training from a checkpoint")
+		drainWait  = fs.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
 
 		topN        = fs.Int("topn", 0, "default result count for /v1/recommend (0 = server default)")
 		cacheSize   = fs.Int("cache", 0, "response cache capacity (0 = server default, negative disables)")
@@ -74,7 +81,9 @@ Flags:
 		firstGen uint64
 	)
 	if *modelPath != "" {
-		m, gen, err := tcss.LoadModelVersioned(*modelPath)
+		// Fallback-aware load: a crash mid-save leaves the newest snapshot
+		// torn; the rotation ladder still holds the previous intact one.
+		m, gen, from, err := tcss.LoadModelVersionedFallback(*modelPath, 16)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tcss serve:", err)
 			os.Exit(1)
@@ -85,13 +94,14 @@ Flags:
 			os.Exit(1)
 		}
 		firstGen = gen
-		fmt.Printf("loaded model %s (generation %d)\n", *modelPath, gen)
+		fmt.Printf("loaded model %s (generation %d)\n", from, gen)
 	} else {
 		// A killed serve process can restart with -resume pointing at the
 		// periodic mid-train snapshot and continue training where it left
 		// off instead of starting over.
 		cfg.CheckpointPath = *checkpoint
 		cfg.CheckpointEvery = *ckEvery
+		cfg.CheckpointKeep = *ckKeep
 		cfg.ResumePath = *resume
 		s := ds.Summary()
 		fmt.Printf("dataset %s: users=%d pois=%d check-ins=%d\n", ds.Name, s.Users, s.POIs, s.CheckIns)
@@ -117,6 +127,7 @@ Flags:
 		CacheSize:       *cacheSize,
 		Online:          online,
 		SnapshotPath:    *snapshot,
+		SnapshotKeep:    *snapKeep,
 		FirstGeneration: firstGen,
 	}
 	srv, err := serve.New(rec, opts)
@@ -126,10 +137,38 @@ Flags:
 	}
 	defer srv.Close()
 
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections, drains
+	// in-flight requests, then drains the writer (final best-effort snapshot
+	// save) — all within the -drain budget.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
 	fmt.Printf("serving generation %d on %s (/v1/recommend /v1/explain /v1/observe /metrics /healthz)\n",
 		srv.Generation(), *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "tcss serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal during drain kills the process immediately
+	fmt.Println("shutting down...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "tcss serve: http drain:", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "tcss serve: writer drain:", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "tcss serve:", err)
 		os.Exit(1)
 	}
+	fmt.Printf("shutdown complete at generation %d\n", srv.Generation())
 }

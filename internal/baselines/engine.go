@@ -60,7 +60,8 @@ func fitEngine(ctx *Context, lr float64, groups train.GroupSet, step func(tensor
 		return err
 	}
 	if ctx.ResumePath != "" {
-		if err := d.LoadCheckpointFile(ctx.ResumePath); err != nil {
+		// Fall back down the rotation ladder if the newest checkpoint is torn.
+		if _, err := d.LoadCheckpointFallback(ctx.ResumePath, 16); err != nil {
 			return err
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 
+	"tcss/internal/fault"
 	"tcss/internal/mat"
 	"tcss/internal/train"
 )
@@ -44,15 +45,26 @@ type modelFile struct {
 //	v1 — same factor layout with an explicit version field
 //	v2 — adds the serving-snapshot generation
 //	v3 — adds the optional embedded training state for checkpoint/resume
+//	v4 — seals the document in a CRC32-C integrity frame (fault.WriteFramed):
+//	     a one-line header carrying the version, payload length, and checksum,
+//	     followed by the v3-layout JSON document. Torn, truncated, or
+//	     bit-flipped files are rejected at load with ErrChecksum instead of
+//	     being half-read.
 //
 // Load accepts v0 through FormatVersion and rejects anything newer with
 // ErrFormatVersion, so a model saved by a future build fails loudly instead
-// of being silently misread.
-const FormatVersion = 3
+// of being silently misread. v0-v3 files are unframed single JSON documents
+// and still load; framing is detected by the header's checksum field.
+const FormatVersion = 4
 
 // ErrFormatVersion is the sentinel wrapped by Load when a model file's format
 // version is not readable by this build. Test with errors.Is.
 var ErrFormatVersion = errors.New("core: unsupported model format version")
+
+// ErrChecksum is the sentinel wrapped by Load when a v4+ file fails its
+// integrity check — the file is torn or corrupt, not merely a different
+// format version. It aliases fault.ErrChecksum so errors.Is matches either.
+var ErrChecksum = fault.ErrChecksum
 
 // Save writes the model as JSON to w at the current FormatVersion, with
 // generation 0 (an offline model). Serving layers that save live snapshots
@@ -66,7 +78,7 @@ func (m *Model) SaveVersioned(w io.Writer, generation uint64) error {
 }
 
 // SaveCheckpoint writes the model together with the training-engine state as
-// a FormatVersion 3 model file: a resumable checkpoint that doubles as a
+// a current-format model file: a resumable checkpoint that doubles as a
 // complete model file. encoding/json round-trips float64 exactly, so a
 // resumed run continues bit-identically.
 func (m *Model) SaveCheckpoint(w io.Writer, st *train.State) error {
@@ -82,57 +94,48 @@ func (m *Model) encode(w io.Writer, generation uint64, st *train.State) error {
 		ZeroOut: m.ZeroOutFilter,
 		Train:   st,
 	}
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(&mf); err != nil {
+	payload, err := json.Marshal(&mf)
+	if err != nil {
 		return fmt.Errorf("core: encoding model: %w", err)
+	}
+	payload = append(payload, '\n')
+	if err := fault.WriteFramed(w, FormatVersion, payload); err != nil {
+		return fmt.Errorf("core: writing model: %w", err)
 	}
 	return nil
 }
 
-// SaveCheckpointFile writes a resumable checkpoint to a file, creating or
-// truncating it.
+// SaveCheckpointFile writes a resumable checkpoint to a file crash-safely
+// (temp file, fsync, atomic rename).
 func (m *Model) SaveCheckpointFile(path string, st *train.State) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("core: creating %s: %w", path, err)
-	}
-	bw := bufio.NewWriter(f)
-	if err := m.SaveCheckpoint(bw, st); err != nil {
-		f.Close()
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return fmt.Errorf("core: flushing %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("core: closing %s: %w", path, err)
-	}
-	return nil
+	return m.SaveCheckpointRotate(nil, path, 0, st)
+}
+
+// SaveCheckpointRotate writes a resumable checkpoint crash-safely through fs
+// (nil: the real filesystem), keeping up to keep rotated prior checkpoints
+// (path.1 … path.keep) as a recovery fallback ladder.
+func (m *Model) SaveCheckpointRotate(fs fault.FS, path string, keep int, st *train.State) error {
+	return fault.WriteFileRotate(fs, path, keep, func(w io.Writer) error {
+		return m.SaveCheckpoint(w, st)
+	})
 }
 
 // SaveFile writes the model to a file, creating or truncating it.
 func (m *Model) SaveFile(path string) error { return m.SaveFileVersioned(path, 0) }
 
-// SaveFileVersioned is SaveFile with an explicit snapshot generation.
+// SaveFileVersioned is SaveFile with an explicit snapshot generation. The
+// write is crash-safe: temp file, fsync, atomic rename.
 func (m *Model) SaveFileVersioned(path string, generation uint64) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("core: creating %s: %w", path, err)
-	}
-	bw := bufio.NewWriter(f)
-	if err := m.SaveVersioned(bw, generation); err != nil {
-		f.Close()
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return fmt.Errorf("core: flushing %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("core: closing %s: %w", path, err)
-	}
-	return nil
+	return m.SaveFileVersionedFS(nil, path, generation)
+}
+
+// SaveFileVersionedFS is SaveFileVersioned through an injectable filesystem
+// (nil: the real one) — the seam fault harnesses use to kill the write at an
+// arbitrary byte.
+func (m *Model) SaveFileVersionedFS(fs fault.FS, path string, generation uint64) error {
+	return fault.WriteFileAtomic(fs, path, func(w io.Writer) error {
+		return m.SaveVersioned(w, generation)
+	})
 }
 
 // Load reads a model previously written by Save (any format version up to
@@ -173,10 +176,71 @@ func LoadCheckpointFile(path string) (*Model, *train.State, error) {
 	return LoadCheckpoint(bufio.NewReader(f))
 }
 
+// LoadCheckpointFallback walks the rotation ladder of a checkpoint path —
+// path, path.1, … path.depth — and loads the newest file that is present and
+// intact, returning it along with the path it came from. Missing rungs are
+// skipped silently; a rung that exists but fails to load (torn, corrupt,
+// wrong version) is skipped too, falling back to the next older copy. Only
+// when no rung loads does it return an error: the first load error seen, or
+// the primary path's os.ErrNotExist when nothing exists at all.
+func LoadCheckpointFallback(path string, depth int) (*Model, *train.State, string, error) {
+	var firstErr error
+	for _, p := range fault.FallbackPaths(path, depth) {
+		m, st, err := LoadCheckpointFile(p)
+		if err == nil {
+			return m, st, p, nil
+		}
+		if firstErr == nil && !errors.Is(err, os.ErrNotExist) {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("core: opening %s: %w", path, os.ErrNotExist)
+	}
+	return nil, nil, "", fmt.Errorf("core: no loadable checkpoint at %s (depth %d): %w", path, depth, firstErr)
+}
+
+// LoadFileVersionedFallback is LoadFileVersioned with the same rotation-ladder
+// fallback as LoadCheckpointFallback, for serving snapshots saved with
+// rotation.
+func LoadFileVersionedFallback(path string, depth int) (*Model, uint64, string, error) {
+	var firstErr error
+	for _, p := range fault.FallbackPaths(path, depth) {
+		m, gen, err := LoadFileVersioned(p)
+		if err == nil {
+			return m, gen, p, nil
+		}
+		if firstErr == nil && !errors.Is(err, os.ErrNotExist) {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("core: opening %s: %w", path, os.ErrNotExist)
+	}
+	return nil, 0, "", fmt.Errorf("core: no loadable model at %s (depth %d): %w", path, depth, firstErr)
+}
+
 func decodeModel(r io.Reader) (*Model, modelFile, error) {
 	var mf modelFile
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&mf); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, mf, fmt.Errorf("core: reading model: %w", err)
+	}
+	version, payload, err := fault.ReadFramed(data)
+	// Gate on format version first even when the integrity check failed —
+	// "file from a future build" is the more actionable diagnosis, and the
+	// header survives payload corruption.
+	if version < 0 || version > FormatVersion {
+		return nil, mf, fmt.Errorf("%w: file is v%d, this build reads v0-v%d",
+			ErrFormatVersion, version, FormatVersion)
+	}
+	if err != nil {
+		if errors.Is(err, fault.ErrChecksum) {
+			return nil, mf, fmt.Errorf("core: model file corrupt: %w", err)
+		}
+		return nil, mf, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if err := json.Unmarshal(payload, &mf); err != nil {
 		return nil, mf, fmt.Errorf("core: decoding model: %w", err)
 	}
 	if mf.Version < 0 || mf.Version > FormatVersion {

@@ -288,8 +288,10 @@ func TestPersistV3RoundTripAndVersionGates(t *testing.T) {
 		t.Fatal("plain model file must load with nil training state")
 	}
 
-	// Future versions are rejected loudly.
-	future := strings.Replace(readFileString(t, plain), `"version":3`, `"version":9`, 1)
+	// Future versions are rejected loudly. The first "version" in a sealed
+	// file is the frame header's; bumping it is how a future build's file
+	// looks to this one.
+	future := strings.Replace(readFileString(t, plain), `"version":4`, `"version":9`, 1)
 	if _, _, err := LoadCheckpoint(strings.NewReader(future)); !errors.Is(err, ErrFormatVersion) {
 		t.Fatalf("future version gave %v, want ErrFormatVersion", err)
 	}

@@ -4,11 +4,17 @@ import (
 	"fmt"
 	"math/rand"
 
+	"tcss/internal/fault"
 	"tcss/internal/opt"
 	"tcss/internal/par"
 	"tcss/internal/tensor"
 	"tcss/internal/train"
 )
+
+// resumeFallbackDepth bounds how far down the checkpoint rotation ladder
+// (path.1, path.2, …) resume searches for an intact file. Deeper than any
+// sane CheckpointKeep, and cheap: missing rungs cost one failed open each.
+const resumeFallbackDepth = 16
 
 // HausdorffVariant selects how (and whether) the social-spatial head is
 // applied, covering the ablation rows of Table II.
@@ -115,8 +121,21 @@ type Config struct {
 	// instead of initializing fresh factors: the model, optimizer moments,
 	// RNG stream position, and completed-epoch count are restored from the
 	// file and training proceeds up to Epochs. The resumed run is
-	// bit-identical to an uninterrupted one under the same Config.
+	// bit-identical to an uninterrupted one under the same Config. When the
+	// newest file at ResumePath is torn or corrupt (a crash landed mid-save
+	// before crash-safe writes, or the disk rotted), Train falls back down
+	// the rotation ladder (ResumePath.1, .2, …) to the newest intact copy.
 	ResumePath string
+
+	// CheckpointKeep is how many rotated prior checkpoints to retain next to
+	// CheckpointPath (path.1 … path.N) as a recovery fallback ladder; 0 keeps
+	// only the newest file.
+	CheckpointKeep int
+
+	// FS, when non-nil, routes checkpoint writes through an injectable
+	// filesystem seam (fault.InjectFS in crash harnesses); nil uses the real
+	// filesystem.
+	FS fault.FS
 }
 
 // DefaultConfig returns the default hyperparameters of this implementation.
@@ -177,6 +196,9 @@ func (c Config) Validate() error {
 	if c.ZeroOutSigmaFrac < 0 {
 		return fmt.Errorf("core: ZeroOutSigmaFrac must be non-negative, got %g", c.ZeroOutSigmaFrac)
 	}
+	if c.CheckpointKeep < 0 {
+		return fmt.Errorf("core: CheckpointKeep must be non-negative, got %d", c.CheckpointKeep)
+	}
 	if err := par.Validate(c.Workers); err != nil {
 		return err
 	}
@@ -220,7 +242,7 @@ func Train(x *tensor.COO, side *SideInfo, cfg Config) (*Model, error) {
 	var resume *train.State
 	if cfg.ResumePath != "" {
 		var err error
-		m, resume, err = LoadCheckpointFile(cfg.ResumePath)
+		m, resume, _, err = LoadCheckpointFallback(cfg.ResumePath, resumeFallbackDepth)
 		if err != nil {
 			return nil, err
 		}
@@ -321,7 +343,9 @@ func Train(x *tensor.COO, side *SideInfo, cfg Config) (*Model, error) {
 	}
 	if cfg.CheckpointPath != "" {
 		path := cfg.CheckpointPath
-		tcfg.Save = func(st train.State) error { return m.SaveCheckpointFile(path, &st) }
+		tcfg.Save = func(st train.State) error {
+			return m.SaveCheckpointRotate(cfg.FS, path, cfg.CheckpointKeep, &st)
+		}
 	}
 	driver, err := train.New(groups, heads, nil, opt.NewAdam(cfg.LR, cfg.WeightDecay), rng, tcfg)
 	if err != nil {

@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file crash-safely: write streams into path+".tmp",
+// which is flushed, fsynced, closed, and only then atomically renamed over
+// path (followed by a best-effort directory fsync). A crash at any byte of
+// the write leaves the previous contents of path intact; the reader never
+// observes a torn file at the destination.
+func WriteFileAtomic(fs FS, path string, write func(io.Writer) error) error {
+	return WriteFileRotate(fs, path, 0, write)
+}
+
+// WriteFileRotate is WriteFileAtomic with keep-deep rotation of prior
+// copies: before the final rename, the existing path is shifted to path.1,
+// path.1 to path.2, and so on up to path.keep (the oldest copy is dropped).
+// Rotation gives recovery a fallback ladder — if the newest file is lost or
+// corrupted after its rename, FallbackPaths still finds the previous good
+// one. keep <= 0 rotates nothing and is exactly WriteFileAtomic.
+//
+// Crash analysis: a crash during the temp write leaves path untouched; a
+// crash between rotation renames can at worst leave path missing with its
+// last contents intact at path.1; a crash after the final rename leaves the
+// new file complete. Every interleaving leaves at least one intact,
+// complete file on the fallback ladder.
+func WriteFileRotate(fs FS, path string, keep int, write func(io.Writer) error) error {
+	fs = orOS(fs)
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("fault: creating %s: %w", tmp, err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		fs.Remove(tmp) // best-effort; a crashed FS leaves the torn temp behind
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := write(bw); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(fmt.Errorf("fault: writing %s: %w", tmp, err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("fault: syncing %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return fmt.Errorf("fault: closing %s: %w", tmp, err)
+	}
+	for i := keep; i >= 1; i-- {
+		src := path
+		if i > 1 {
+			src = RotatedPath(path, i-1)
+		}
+		if err := fs.Rename(src, RotatedPath(path, i)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			fs.Remove(tmp)
+			return fmt.Errorf("fault: rotating %s: %w", src, err)
+		}
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return fmt.Errorf("fault: publishing %s: %w", path, err)
+	}
+	fs.SyncDir(filepath.Dir(path)) // best-effort durability of the rename itself
+	return nil
+}

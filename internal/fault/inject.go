@@ -1,0 +1,273 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+)
+
+// Op identifies an injectable filesystem operation.
+type Op string
+
+// The injectable operations. OpWrite faults additionally support byte-level
+// scheduling through Plan's byte-offset fields.
+const (
+	OpCreate  Op = "create"
+	OpWrite   Op = "write"
+	OpSync    Op = "sync"
+	OpClose   Op = "close"
+	OpRename  Op = "rename"
+	OpRemove  Op = "remove"
+	OpSyncDir Op = "syncdir"
+)
+
+// ErrInjected is returned by operations the Plan fails transiently: the
+// operation did not happen, but the filesystem keeps working afterwards.
+var ErrInjected = errors.New("fault: injected error")
+
+// ErrCrashed is returned by the operation a crash fault kills and by every
+// operation after it: the simulated process is dead mid-write, and whatever
+// bytes reached the inner filesystem before the crash point are all that
+// survive. Recovery code never sees this error — it belongs to the run that
+// "died" — but the harness uses it to confirm the schedule fired.
+var ErrCrashed = errors.New("fault: injected crash, filesystem dead")
+
+// Plan is a deterministic fault schedule. The zero value injects nothing;
+// each field arms one fault. Byte offsets are 1-based positions in the
+// cumulative stream of bytes handed to Write (so offset n names the n-th
+// byte written), which makes a sweep over offsets independent of how the
+// writer chunks its calls. When CrashFile is set, offsets count only bytes
+// of the CrashFile-th created file instead, so a schedule can target "the
+// third checkpoint save" without knowing the sizes of earlier writes.
+type Plan struct {
+	// CrashAtByte, when > 0, kills the stream mid-write: the Write call that
+	// would reach this cumulative offset stops there — the prefix lands in
+	// the inner file — and returns ErrCrashed, after which every operation
+	// fails with ErrCrashed.
+	CrashAtByte int64
+	// CrashFile, when > 0, scopes CrashAtByte (and ShortWriteAt/FlipByteAt)
+	// to the CrashFile-th file opened with Create, 1-based.
+	CrashFile int
+	// CrashOp, when non-empty, crashes at the start of the CrashOpIndex-th
+	// (0-based) occurrence of that operation; the operation does not happen.
+	CrashOp      Op
+	CrashOpIndex int
+	// FailOp, when non-empty, makes the FailOpIndex-th (0-based) occurrence
+	// of that operation return ErrInjected without crashing — a transient
+	// fault the caller may retry past.
+	FailOp      Op
+	FailOpIndex int
+	// ShortWriteAt, when > 0, makes the Write call crossing this offset
+	// silently stop there while still reporting full success — a torn write
+	// only an integrity check can catch. Fires once.
+	ShortWriteAt int64
+	// FlipByteAt, when > 0, silently inverts the byte written at this offset
+	// — bit rot only an integrity check can catch.
+	FlipByteAt int64
+}
+
+// InjectFS wraps an inner FS and injects the faults of a Plan. All methods
+// are safe for concurrent use; byte accounting is global across files (see
+// Plan). Construct with NewInjectFS.
+type InjectFS struct {
+	inner FS
+
+	// OnCrash, when non-nil, runs exactly once at the moment a crash fault
+	// fires, before the failing operation returns. The CLI's -fault flag
+	// uses it to exit the process, turning the injected crash into a real
+	// mid-write kill.
+	OnCrash func()
+
+	mu      sync.Mutex
+	plan    Plan
+	crashed bool
+	bytes   int64 // cumulative bytes offered to Write (reported, not landed)
+	creates int
+	ops     map[Op]int
+	shorted bool
+}
+
+// NewInjectFS builds an injecting filesystem over inner (nil: the real
+// filesystem) with the given fault schedule.
+func NewInjectFS(inner FS, plan Plan) *InjectFS {
+	return &InjectFS{inner: orOS(inner), plan: plan, ops: make(map[Op]int)}
+}
+
+// Crashed reports whether a crash fault has fired.
+func (f *InjectFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// BytesWritten returns the cumulative bytes offered to Write across all
+// files — the probe a sweep uses to size its crash-point schedule.
+func (f *InjectFS) BytesWritten() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bytes
+}
+
+// OpCount returns how many occurrences of op have been attempted.
+func (f *InjectFS) OpCount(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops[op]
+}
+
+// crashLocked marks the filesystem dead and fires OnCrash once. Callers hold mu.
+func (f *InjectFS) crashLocked() {
+	f.crashed = true
+	if f.OnCrash != nil {
+		cb := f.OnCrash
+		f.OnCrash = nil
+		cb()
+	}
+}
+
+// gateLocked runs the op-level fault schedule for one occurrence of op.
+// Callers hold mu.
+func (f *InjectFS) gateLocked(op Op) error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	n := f.ops[op]
+	f.ops[op] = n + 1
+	if f.plan.FailOp == op && f.plan.FailOpIndex == n {
+		return ErrInjected
+	}
+	if f.plan.CrashOp == op && f.plan.CrashOpIndex == n {
+		f.crashLocked()
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Create implements FS.
+func (f *InjectFS) Create(name string) (File, error) {
+	f.mu.Lock()
+	if err := f.gateLocked(OpCreate); err != nil {
+		f.mu.Unlock()
+		return nil, err
+	}
+	f.creates++
+	idx := f.creates
+	f.mu.Unlock()
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: f, inner: inner, fileIndex: idx}, nil
+}
+
+// Rename implements FS.
+func (f *InjectFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	err := f.gateLocked(OpRename)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *InjectFS) Remove(name string) error {
+	f.mu.Lock()
+	err := f.gateLocked(OpRemove)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// SyncDir implements FS.
+func (f *InjectFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	err := f.gateLocked(OpSyncDir)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// injectFile tears, corrupts, or truncates the byte stream of one file
+// according to its filesystem's Plan.
+type injectFile struct {
+	fs        *InjectFS
+	inner     File
+	fileIndex int // 1-based Create order, matched against Plan.CrashFile
+}
+
+// counted reports whether this file's bytes participate in byte-offset
+// scheduling. Callers hold fs.mu.
+func (f *injectFile) counted() bool {
+	return f.fs.plan.CrashFile == 0 || f.fs.plan.CrashFile == f.fileIndex
+}
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	if err := fs.gateLocked(OpWrite); err != nil {
+		fs.mu.Unlock()
+		return 0, err
+	}
+	if !f.counted() {
+		fs.mu.Unlock()
+		return f.inner.Write(p)
+	}
+	start := fs.bytes
+	end := start + int64(len(p))
+	fs.bytes = end
+	plan := fs.plan
+	// Crash: write the prefix up to the crash offset, then die.
+	if plan.CrashAtByte > 0 && start < plan.CrashAtByte && plan.CrashAtByte <= end {
+		n := int(plan.CrashAtByte - start)
+		f.inner.Write(p[:n])
+		f.inner.Sync() // the torn prefix is what a real kill would leave durable
+		fs.crashLocked()
+		fs.mu.Unlock()
+		return n, ErrCrashed
+	}
+	// Silent short write: land a prefix, report complete success.
+	if plan.ShortWriteAt > 0 && !fs.shorted && start < plan.ShortWriteAt && plan.ShortWriteAt < end {
+		fs.shorted = true
+		fs.mu.Unlock()
+		if _, err := f.inner.Write(p[:plan.ShortWriteAt-start]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	// Silent bit rot: invert one byte in flight.
+	if plan.FlipByteAt > 0 && start < plan.FlipByteAt && plan.FlipByteAt <= end {
+		fs.mu.Unlock()
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[plan.FlipByteAt-1-start] ^= 0xFF
+		return f.inner.Write(q)
+	}
+	fs.mu.Unlock()
+	return f.inner.Write(p)
+}
+
+func (f *injectFile) Sync() error {
+	f.fs.mu.Lock()
+	err := f.fs.gateLocked(OpSync)
+	f.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *injectFile) Close() error {
+	f.fs.mu.Lock()
+	err := f.fs.gateLocked(OpClose)
+	f.fs.mu.Unlock()
+	if err != nil {
+		f.inner.Close() // release the descriptor even when the op "fails"
+		return err
+	}
+	return f.inner.Close()
+}

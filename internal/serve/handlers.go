@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -48,6 +49,19 @@ func (s *Server) shed(w http.ResponseWriter, what string) {
 func (s *Server) deadline(w http.ResponseWriter) {
 	s.met.deadlineMissed.Add(1)
 	writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "request deadline exceeded"})
+}
+
+// degraded rejects a write with 503 while the circuit breaker is open,
+// advertising the breaker's own probe deadline as Retry-After.
+func (s *Server) degraded(w http.ResponseWriter, err error) {
+	s.met.shed.Add(1)
+	_, _, retryIn := s.brk.status()
+	secs := int(math.Ceil(retryIn.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 }
 
 // intParam parses a required (or defaulted) integer query parameter.
@@ -294,6 +308,10 @@ func (s *Server) serveObserve(w http.ResponseWriter, r *http.Request) {
 	started := s.opts.now()
 	s.met.observeTotal.Add(1)
 
+	if s.closing.Load() {
+		s.shed(w, "server draining, observe")
+		return
+	}
 	var req observeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.badRequest(w, "decoding body: %v", err)
@@ -334,6 +352,10 @@ func (s *Server) serveObserve(w http.ResponseWriter, r *http.Request) {
 	select {
 	case res := <-cmd.reply:
 		if res.err != nil {
+			if errors.Is(res.err, ErrDegraded) {
+				s.degraded(w, res.err)
+				return
+			}
 			s.met.internalErrors.Add(1)
 			writeJSON(w, http.StatusInternalServerError, errorBody{Error: res.err.Error()})
 			return
@@ -355,6 +377,10 @@ type saveResponse struct {
 func (s *Server) serveSnapshotSave(w http.ResponseWriter, r *http.Request) {
 	if s.opts.SnapshotPath == "" {
 		s.badRequest(w, "snapshot saving is not configured (no snapshot path)")
+		return
+	}
+	if s.closing.Load() {
+		s.shed(w, "server draining, snapshot save")
 		return
 	}
 	cmd := writerCmd{save: true, reply: make(chan writerResult, 1)}
@@ -383,19 +409,35 @@ type healthResponse struct {
 	Status     string  `json:"status"`
 	Generation uint64  `json:"generation"`
 	AgeSeconds float64 `json:"snapshot_age_seconds"`
+	// Reason and Breaker appear when Status is "degraded": why the write
+	// path is down, and the breaker state ("open" or "half_open").
+	Reason  string `json:"reason,omitempty"`
+	Breaker string `json:"breaker,omitempty"`
 }
 
+// serveHealthz reports three states: "ok" (200), "degraded" (200 — reads
+// still serve the last good snapshot, writes are breaker-rejected; the body
+// says why), and "no snapshot" (503 — nothing to serve).
 func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.load()
 	if snap == nil || snap.Model == nil {
 		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "no snapshot"})
 		return
 	}
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status:     "ok",
 		Generation: snap.Gen,
 		AgeSeconds: s.opts.now().Sub(snap.Created).Seconds(),
-	})
+	}
+	if state, reason, _ := s.brk.status(); state != "closed" {
+		resp.Status = "degraded"
+		resp.Reason = reason
+		resp.Breaker = state
+	} else if s.closing.Load() {
+		resp.Status = "degraded"
+		resp.Reason = "server draining"
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {

@@ -75,6 +75,17 @@ type metrics struct {
 	snapshotSwaps  atomic.Int64
 	snapshotSaves  atomic.Int64
 
+	// Reliability counters, all monotonic: write-path failures, snapshot
+	// save retries/failures, circuit-breaker transitions, and loads the
+	// checksum rejected.
+	observeFailures   atomic.Int64 // observes that errored (injected or real)
+	saveFailures      atomic.Int64 // saves that failed after all retries
+	saveRetries       atomic.Int64 // individual save retry attempts
+	breakerTrips      atomic.Int64 // closed/half-open -> open transitions
+	breakerRecoveries atomic.Int64 // open/half-open -> closed transitions
+	breakerRejected   atomic.Int64 // writes rejected while open
+	checksumRejected  atomic.Int64 // read-backs that failed the CRC frame
+
 	recommendLat latencyRing
 	explainLat   latencyRing
 	observeLat   latencyRing
@@ -129,6 +140,17 @@ type metricsSnapshot struct {
 		MaxInflight int   `json:"max_inflight"`
 		MaxQueue    int   `json:"max_queue"`
 	} `json:"admission"`
+
+	Reliability struct {
+		ObserveFailures       int64  `json:"observe_failures"`
+		SaveFailures          int64  `json:"save_failures"`
+		SaveRetries           int64  `json:"save_retries"`
+		BreakerState          string `json:"breaker_state"`
+		BreakerTrips          int64  `json:"breaker_trips"`
+		BreakerRecoveries     int64  `json:"breaker_recoveries"`
+		BreakerRejected       int64  `json:"breaker_rejected"`
+		ChecksumRejectedLoads int64  `json:"checksum_rejected_loads"`
+	} `json:"reliability"`
 }
 
 func (s *Server) collectMetrics() metricsSnapshot {
@@ -173,5 +195,14 @@ func (s *Server) collectMetrics() metricsSnapshot {
 	out.Admission.Queued = s.adm.waiting.Load()
 	out.Admission.MaxInflight = s.adm.maxInflight
 	out.Admission.MaxQueue = s.adm.maxQueue
+
+	out.Reliability.ObserveFailures = m.observeFailures.Load()
+	out.Reliability.SaveFailures = m.saveFailures.Load()
+	out.Reliability.SaveRetries = m.saveRetries.Load()
+	out.Reliability.BreakerState, _, _ = s.brk.status()
+	out.Reliability.BreakerTrips = m.breakerTrips.Load()
+	out.Reliability.BreakerRecoveries = m.breakerRecoveries.Load()
+	out.Reliability.BreakerRejected = m.breakerRejected.Load()
+	out.Reliability.ChecksumRejectedLoads = m.checksumRejected.Load()
 	return out
 }

@@ -25,14 +25,19 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tcss"
 	"tcss/internal/core"
+	"tcss/internal/fault"
 	"tcss/internal/lbsn"
 )
 
@@ -73,6 +78,37 @@ type Options struct {
 	// counter keeps rising across restarts.
 	FirstGeneration uint64
 
+	// SnapshotKeep is how many rotated prior snapshot files to retain next
+	// to SnapshotPath (path.1 … path.N) as a recovery fallback ladder; 0
+	// keeps only the newest file.
+	SnapshotKeep int
+
+	// FS, when non-nil, routes snapshot writes through an injectable
+	// filesystem seam (fault.InjectFS in crash harnesses); nil uses the real
+	// filesystem.
+	FS fault.FS
+
+	// Faults, when non-nil, injects latency and errors at the top of the
+	// writer's observe ("observe") and snapshot-save ("save") operations —
+	// the seam the degraded-mode tests drive. A nil value costs one pointer
+	// check.
+	Faults *fault.Hooks
+
+	// BreakerThreshold is how many consecutive write failures trip the
+	// circuit breaker open; BreakerBaseBackoff is the first open interval,
+	// doubling per re-trip up to BreakerMaxBackoff (both jittered).
+	// BreakerSeed seeds the jitter for deterministic tests.
+	BreakerThreshold   int
+	BreakerBaseBackoff time.Duration
+	BreakerMaxBackoff  time.Duration
+	BreakerSeed        int64
+
+	// SaveRetries is how many times a failed snapshot save is retried by the
+	// writer before reporting failure (negative: no retries);
+	// SaveRetryBackoff is the jitter-free pause between attempts.
+	SaveRetries      int
+	SaveRetryBackoff time.Duration
+
 	// now substitutes time.Now in tests.
 	now func() time.Time
 	// holdForTest, when set, runs on the read path after admission; tests
@@ -92,6 +128,12 @@ func DefaultOptions() Options {
 		CacheSize:      8192,
 		ObserveQueue:   64,
 		Online:         tcss.DefaultOnlineConfig(),
+
+		BreakerThreshold:   3,
+		BreakerBaseBackoff: 100 * time.Millisecond,
+		BreakerMaxBackoff:  5 * time.Second,
+		SaveRetries:        2,
+		SaveRetryBackoff:   50 * time.Millisecond,
 	}
 }
 
@@ -123,6 +165,23 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Online.Epochs <= 0 || o.Online.LR <= 0 {
 		o.Online = def.Online
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = def.BreakerThreshold
+	}
+	if o.BreakerBaseBackoff <= 0 {
+		o.BreakerBaseBackoff = def.BreakerBaseBackoff
+	}
+	if o.BreakerMaxBackoff <= 0 {
+		o.BreakerMaxBackoff = def.BreakerMaxBackoff
+	}
+	if o.SaveRetries == 0 {
+		o.SaveRetries = def.SaveRetries
+	} else if o.SaveRetries < 0 {
+		o.SaveRetries = 0
+	}
+	if o.SaveRetryBackoff <= 0 {
+		o.SaveRetryBackoff = def.SaveRetryBackoff
 	}
 	if o.now == nil {
 		o.now = time.Now
@@ -157,10 +216,20 @@ type Server struct {
 	cache *lruCache
 	met   *metrics
 	adm   *admission
+	brk   *breaker
 	cmds  chan writerCmd
 	quit  chan struct{}
 	wg    sync.WaitGroup
 	mux   *http.ServeMux
+
+	// Shutdown coordination: closing makes handlers shed new write commands;
+	// drain tells the writer to finish buffered work, take a final snapshot,
+	// and exit. quitOnce/drainOnce make Close and Shutdown idempotent and
+	// safe to combine.
+	closing   atomic.Bool
+	drain     chan struct{}
+	quitOnce  sync.Once
+	drainOnce sync.Once
 
 	scratch sync.Pool // *core.RecScratch
 
@@ -184,8 +253,10 @@ func New(rec *tcss.Recommender, opts Options) (*Server, error) {
 		cache: newLRUCache(opts.CacheSize),
 		met:   &metrics{start: opts.now()},
 		adm:   newAdmission(opts.MaxInflight, opts.MaxQueue),
+		brk:   newBreaker(opts.BreakerThreshold, opts.BreakerBaseBackoff, opts.BreakerMaxBackoff, opts.BreakerSeed, opts.now),
 		cmds:  make(chan writerCmd, opts.ObserveQueue),
 		quit:  make(chan struct{}),
+		drain: make(chan struct{}),
 	}
 	s.publish(&Snapshot{
 		Gen:     opts.FirstGeneration,
@@ -206,12 +277,39 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Generation returns the currently served snapshot generation.
 func (s *Server) Generation() uint64 { return s.snap.load().Gen }
 
-// Close stops the update goroutine. In-flight HTTP requests on the read path
-// are unaffected (they only touch snapshots); queued observes that have not
-// been picked up are answered with an error by their enqueuer's timeout.
+// Close stops the update goroutine immediately. In-flight HTTP requests on
+// the read path are unaffected (they only touch snapshots); queued observes
+// that have not been picked up are answered with an error by their
+// enqueuer's timeout. For an orderly exit that drains queued writes and
+// saves a final snapshot, use Shutdown.
 func (s *Server) Close() {
-	close(s.quit)
+	s.quitOnce.Do(func() { close(s.quit) })
 	s.wg.Wait()
+}
+
+// Shutdown stops the server gracefully: new write requests are shed with 503
+// immediately, the writer drains every queued observe/save command, takes a
+// final best-effort snapshot save when SnapshotPath is configured, and
+// exits. Reads keep serving throughout (connection draining is the HTTP
+// listener's job — pair this with http.Server.Shutdown). If ctx expires
+// before the drain completes, the writer is killed Close-style and ctx's
+// error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
+	s.drainOnce.Do(func() { close(s.drain) })
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.quitOnce.Do(func() { close(s.quit) })
+		<-done
+		return ctx.Err()
+	}
 }
 
 // publish swaps in a new snapshot and invalidates the response cache. Called
@@ -233,21 +331,55 @@ func (s *Server) writerLoop() {
 		select {
 		case <-s.quit:
 			return
-		case cmd := <-s.cmds:
-			if cmd.save {
-				cmd.reply <- s.handleSave()
-				continue
+		case <-s.drain:
+			// Graceful exit: finish everything already queued (handlers shed
+			// new commands once closing is set), then persist a final
+			// best-effort snapshot and stop.
+			for {
+				select {
+				case <-s.quit:
+					return
+				case cmd := <-s.cmds:
+					cmd.reply <- s.dispatch(cmd)
+				default:
+					if s.opts.SnapshotPath != "" {
+						s.handleSave()
+					}
+					return
+				}
 			}
-			cmd.reply <- s.handleObserve(cmd.checkIns)
+		case cmd := <-s.cmds:
+			cmd.reply <- s.dispatch(cmd)
 		}
 	}
 }
 
+func (s *Server) dispatch(cmd writerCmd) writerResult {
+	if cmd.save {
+		return s.handleSave()
+	}
+	return s.handleObserve(cmd.checkIns)
+}
+
 func (s *Server) handleObserve(checkIns []lbsn.CheckIn) writerResult {
-	added, err := s.rec.Observe(checkIns, s.opts.Online)
 	cur := s.snap.load()
-	if err != nil {
+	// The breaker guards the model-mutation path: while open, observes are
+	// rejected instantly (readers keep the last good snapshot) until the
+	// backoff admits a probe.
+	if err := s.brk.allow(); err != nil {
+		s.met.breakerRejected.Add(1)
 		return writerResult{gen: cur.Gen, err: err}
+	}
+	added, err := s.observeOnce(checkIns)
+	if err != nil {
+		s.met.observeFailures.Add(1)
+		if s.brk.failure(err) {
+			s.met.breakerTrips.Add(1)
+		}
+		return writerResult{gen: cur.Gen, err: err}
+	}
+	if s.brk.success() {
+		s.met.breakerRecoveries.Add(1)
 	}
 	if added == 0 {
 		s.met.observeNoop.Add(1)
@@ -266,16 +398,64 @@ func (s *Server) handleObserve(checkIns []lbsn.CheckIn) writerResult {
 	return writerResult{added: added, gen: next.Gen}
 }
 
+// observeOnce runs one guarded observe: the injected fault seam first, then
+// the transactional model update (which itself reverts on error).
+func (s *Server) observeOnce(checkIns []lbsn.CheckIn) (int, error) {
+	if err := s.opts.Faults.Before("observe"); err != nil {
+		return 0, err
+	}
+	return s.rec.Observe(checkIns, s.opts.Online)
+}
+
 func (s *Server) handleSave() writerResult {
 	snap := s.snap.load()
 	if s.opts.SnapshotPath == "" {
 		return writerResult{gen: snap.Gen, err: fmt.Errorf("serve: no snapshot path configured")}
 	}
-	if err := snap.Model.SaveFileVersioned(s.opts.SnapshotPath, snap.Gen); err != nil {
-		return writerResult{gen: snap.Gen, err: err}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			s.met.saveRetries.Add(1)
+			select {
+			case <-time.After(s.opts.SaveRetryBackoff):
+			case <-s.quit:
+				return writerResult{gen: snap.Gen, err: err}
+			}
+		}
+		if err = s.trySave(snap); err == nil {
+			s.met.snapshotSaves.Add(1)
+			return writerResult{gen: snap.Gen}
+		}
+		if attempt >= s.opts.SaveRetries {
+			break
+		}
 	}
-	s.met.snapshotSaves.Add(1)
-	return writerResult{gen: snap.Gen}
+	s.met.saveFailures.Add(1)
+	return writerResult{gen: snap.Gen, err: err}
+}
+
+// trySave is one snapshot-save attempt: the injected fault seam, a
+// crash-safe rotated write, and a read-back verification so a write the
+// filesystem silently tore (short write, bit rot) is caught here — where a
+// retry can fix it — instead of at the next restart.
+func (s *Server) trySave(snap *Snapshot) error {
+	if err := s.opts.Faults.Before("save"); err != nil {
+		return err
+	}
+	path := s.opts.SnapshotPath
+	err := fault.WriteFileRotate(s.opts.FS, path, s.opts.SnapshotKeep, func(w io.Writer) error {
+		return snap.Model.SaveVersioned(w, snap.Gen)
+	})
+	if err != nil {
+		return err
+	}
+	if _, _, err := core.LoadFileVersioned(path); err != nil {
+		if errors.Is(err, core.ErrChecksum) {
+			s.met.checksumRejected.Add(1)
+		}
+		return fmt.Errorf("serve: snapshot read-back: %w", err)
+	}
+	return nil
 }
 
 // getScratch returns a pooled scoring scratch; putScratch recycles it.

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 
+	"tcss/internal/fault"
 	"tcss/internal/opt"
 )
 
@@ -28,8 +29,11 @@ type State struct {
 }
 
 // CheckpointVersion is the on-disk format of the generic engine checkpoint
-// written by SaveCheckpoint. Version 1 is the initial format.
-const CheckpointVersion = 1
+// written by SaveCheckpoint. Version 1 is the initial unframed format;
+// version 2 seals the same document in a CRC32-C integrity frame
+// (fault.WriteFramed) so torn or bit-flipped checkpoints are rejected with
+// fault.ErrChecksum at load instead of being half-read. v1 files still load.
+const CheckpointVersion = 2
 
 // ErrCheckpointVersion is the sentinel wrapped by LoadCheckpoint for files
 // written by an incompatible build. Test with errors.Is.
@@ -89,49 +93,61 @@ func (d *Driver) Checkpoint() Checkpoint {
 	return Checkpoint{Version: CheckpointVersion, State: d.State(), Params: params}
 }
 
-// SaveCheckpoint writes the generic checkpoint as JSON. float64 values
-// round-trip exactly through encoding/json (shortest round-trippable
+// SaveCheckpoint writes the generic checkpoint as framed JSON. float64
+// values round-trip exactly through encoding/json (shortest round-trippable
 // decimal), so a restored run is bit-identical, which the resume tests
 // assert.
 func (d *Driver) SaveCheckpoint(w io.Writer) error {
-	if err := json.NewEncoder(w).Encode(d.Checkpoint()); err != nil {
+	payload, err := json.Marshal(d.Checkpoint())
+	if err != nil {
 		return fmt.Errorf("train: encoding checkpoint: %w", err)
+	}
+	payload = append(payload, '\n')
+	if err := fault.WriteFramed(w, CheckpointVersion, payload); err != nil {
+		return fmt.Errorf("train: writing checkpoint: %w", err)
 	}
 	return nil
 }
 
-// SaveCheckpointFile writes the generic checkpoint to a file, creating or
-// truncating it.
+// SaveCheckpointFile writes the generic checkpoint to a file crash-safely
+// (temp file, fsync, atomic rename).
 func (d *Driver) SaveCheckpointFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("train: creating %s: %w", path, err)
-	}
-	bw := bufio.NewWriter(f)
-	if err := d.SaveCheckpoint(bw); err != nil {
-		f.Close()
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return fmt.Errorf("train: flushing %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("train: closing %s: %w", path, err)
-	}
-	return nil
+	return d.SaveCheckpointRotate(nil, path, 0)
+}
+
+// SaveCheckpointRotate writes the generic checkpoint crash-safely through fs
+// (nil: the real filesystem), keeping up to keep rotated prior checkpoints
+// (path.1 … path.keep) as a recovery fallback ladder.
+func (d *Driver) SaveCheckpointRotate(fs fault.FS, path string, keep int) error {
+	return fault.WriteFileRotate(fs, path, keep, d.SaveCheckpoint)
 }
 
 // LoadCheckpoint restores a generic checkpoint into the driver: every
 // parameter group is copied back by name (all groups must be present with
-// matching lengths) and the engine state is restored.
+// matching lengths) and the engine state is restored. Both the framed v2
+// format and legacy unframed v1 files are accepted; a framed file failing
+// its integrity check is rejected with an error wrapping fault.ErrChecksum.
 func (d *Driver) LoadCheckpoint(r io.Reader) error {
-	var ck Checkpoint
-	if err := json.NewDecoder(r).Decode(&ck); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("train: reading checkpoint: %w", err)
+	}
+	version, payload, err := fault.ReadFramed(data)
+	if version < 1 || version > CheckpointVersion {
+		return fmt.Errorf("%w: file is v%d, this build reads v1-v%d", ErrCheckpointVersion, version, CheckpointVersion)
+	}
+	if err != nil {
+		if errors.Is(err, fault.ErrChecksum) {
+			return fmt.Errorf("train: checkpoint corrupt: %w", err)
+		}
 		return fmt.Errorf("train: decoding checkpoint: %w", err)
 	}
-	if ck.Version != CheckpointVersion {
-		return fmt.Errorf("%w: file is v%d, this build reads v%d", ErrCheckpointVersion, ck.Version, CheckpointVersion)
+	var ck Checkpoint
+	if err := json.Unmarshal(payload, &ck); err != nil {
+		return fmt.Errorf("train: decoding checkpoint: %w", err)
+	}
+	if ck.Version < 1 || ck.Version > CheckpointVersion {
+		return fmt.Errorf("%w: file is v%d, this build reads v1-v%d", ErrCheckpointVersion, ck.Version, CheckpointVersion)
 	}
 	for _, g := range d.model.Groups() {
 		vals, ok := ck.Params[g.Name]
@@ -154,4 +170,26 @@ func (d *Driver) LoadCheckpointFile(path string) error {
 	}
 	defer f.Close()
 	return d.LoadCheckpoint(bufio.NewReader(f))
+}
+
+// LoadCheckpointFallback walks the rotation ladder of a checkpoint path —
+// path, path.1, … path.depth — and restores from the newest file that loads
+// cleanly, returning the path it came from. Rungs that are missing, torn,
+// or corrupt are skipped; only when no rung loads does it return an error
+// (the first load failure seen, or os.ErrNotExist when nothing exists).
+func (d *Driver) LoadCheckpointFallback(path string, depth int) (string, error) {
+	var firstErr error
+	for _, p := range fault.FallbackPaths(path, depth) {
+		err := d.LoadCheckpointFile(p)
+		if err == nil {
+			return p, nil
+		}
+		if firstErr == nil && !errors.Is(err, os.ErrNotExist) {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("train: opening %s: %w", path, os.ErrNotExist)
+	}
+	return "", fmt.Errorf("train: no loadable checkpoint at %s (depth %d): %w", path, depth, firstErr)
 }

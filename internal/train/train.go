@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"tcss/internal/fault"
 	"tcss/internal/opt"
 )
 
@@ -120,6 +121,16 @@ type Config struct {
 	// CheckpointEvery is the epoch period of checkpoints (<= 0: final epoch
 	// only).
 	CheckpointEvery int
+
+	// CheckpointKeep is how many rotated prior checkpoints to retain next to
+	// CheckpointPath (path.1 … path.N) as a recovery fallback ladder; 0 keeps
+	// only the newest file. Applies to the generic CheckpointPath writer.
+	CheckpointKeep int
+
+	// FS, when non-nil, routes the generic checkpoint writer's filesystem
+	// operations through an injectable seam (fault.InjectFS in crash
+	// harnesses); nil uses the real filesystem.
+	FS fault.FS
 }
 
 // Driver runs the epoch loop over one model. Construct with New, optionally
@@ -189,7 +200,9 @@ func New(model Trainable, heads []Head, batch *MiniBatch, optim opt.Optimizer, r
 		d.optim = sched
 	}
 	if cfg.Save == nil && cfg.CheckpointPath != "" {
-		d.cfg.Save = func(State) error { return d.SaveCheckpointFile(cfg.CheckpointPath) }
+		d.cfg.Save = func(State) error {
+			return d.SaveCheckpointRotate(cfg.FS, cfg.CheckpointPath, cfg.CheckpointKeep)
+		}
 	}
 	if d.cfg.Save != nil {
 		if _, ok := d.inner.(opt.Stateful); !ok {

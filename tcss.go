@@ -268,3 +268,12 @@ func LoadModel(path string) (*Model, error) { return core.LoadFile(path) }
 // save time (0 for offline saves and legacy files). A serving restart passes
 // the generation through so its counter keeps rising across restarts.
 func LoadModelVersioned(path string) (*Model, uint64, error) { return core.LoadFileVersioned(path) }
+
+// LoadModelVersionedFallback is LoadModelVersioned with crash recovery: when
+// the newest file at path is torn or corrupt it walks the rotation ladder
+// (path.1, path.2, … up to depth) to the newest intact copy, returning the
+// path actually loaded. Use after a crash-killed serve process whose
+// snapshot save may not have completed.
+func LoadModelVersionedFallback(path string, depth int) (*Model, uint64, string, error) {
+	return core.LoadFileVersionedFallback(path, depth)
+}
