@@ -3,10 +3,11 @@ GO ?= go
 # Kernel micro-benchmarks whose before/after numbers are tracked in
 # BENCH_PR1.json. The experiment benchmarks (BenchmarkTable*, BenchmarkFig*)
 # are much slower and run via `make bench-all`.
-KERNEL_BENCH = 'BenchmarkLoss(Naive|NegSampling|Rewritten)$$|BenchmarkLossRewrittenWorkers|BenchmarkHausdorffLoss|BenchmarkScoreSlab|BenchmarkMulBlocked|BenchmarkRank$$|BenchmarkSpectralInit|BenchmarkTrainEpoch|BenchmarkTopN(Alloc|Scratch)$$'
+KERNEL_BENCH = 'BenchmarkLoss(Naive|NegSampling|Rewritten)$$|BenchmarkLossRewrittenWorkers|BenchmarkHausdorffLoss|BenchmarkScoreSlab|BenchmarkMulBlocked|BenchmarkRank$$|BenchmarkSpectralInit|BenchmarkTrainEpoch|BenchmarkTopN(Alloc|Scratch|Batch)'
 
 .PHONY: build test race vet bench bench-all check gradcheck fuzz golden-update \
-	serve loadgen serve-bench serve-smoke resume-smoke crash-smoke bench-pr4
+	serve loadgen serve-bench serve-smoke resume-smoke crash-smoke bench-pr4 \
+	quant-smoke bench-pr6
 
 build:
 	$(GO) build ./...
@@ -105,6 +106,47 @@ crash-smoke:
 		-resume $(CRASH_DIR)/ck.json -save $(CRASH_DIR)/resumed.json
 	cmp $(CRASH_DIR)/straight.json $(CRASH_DIR)/resumed.json
 	@echo "crash-smoke: resumed-after-crash model byte-identical to straight-through run"
+
+# Compact-serving end-to-end smoke: train an int8-quantized model, save it in
+# the v5 binary slab format, serve it via the zero-copy mmap loader with
+# request coalescing enabled, and drive a short closed-loop burst over HTTP.
+# Exercises the whole compact pipeline: quantize -> v5 save -> mmap load ->
+# coalesced batch scoring.
+QUANT_DIR ?= /tmp/tcss_quant_smoke
+QUANT_ADDR ?= 127.0.0.1:18093
+quant-smoke:
+	rm -rf $(QUANT_DIR) && mkdir -p $(QUANT_DIR)
+	$(GO) build -o $(QUANT_DIR)/tcss ./cmd/tcss
+	$(GO) build -o $(QUANT_DIR)/loadgen ./cmd/loadgen
+	$(QUANT_DIR)/tcss -preset gmu-5k -rank 12 -epochs 40 -storage int8 \
+		-save-binary $(QUANT_DIR)/model.bin
+	$(QUANT_DIR)/tcss serve -preset gmu-5k -model $(QUANT_DIR)/model.bin -mmap \
+		-coalesce -addr $(QUANT_ADDR) & \
+	pid=$$!; \
+	up=0; for i in $$(seq 1 50); do \
+		curl -fsS http://$(QUANT_ADDR)/healthz >/dev/null 2>&1 && { up=1; break; }; \
+		sleep 0.2; \
+	done; \
+	test $$up -eq 1 || { echo "quant-smoke: server never became healthy"; kill $$pid; exit 1; }; \
+	$(QUANT_DIR)/loadgen -url http://$(QUANT_ADDR) -users 220 -times 12 \
+		-conns 4 -duration 2s -observe-frac 0 \
+		-out $(QUANT_DIR)/quant_smoke.json; status=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	test $$status -eq 0 || { echo "quant-smoke: loadgen failed ($$status)"; exit 1; }
+	@echo "quant-smoke: int8 model saved (v5), mmap-served with coalescing, load OK"
+
+# The PR 6 compact-serving benchmark: the TopN batch-vs-scratch kernel
+# comparison, then HTTP-level closed-loop runs with the response cache off —
+# coalescing off vs on — at a rank where slab traffic dominates. Numbers are
+# recorded in BENCH_PR6.json by hand (the JSON also keeps storage footprints
+# and the machine context).
+bench-pr6:
+	$(GO) test -run '^$$' -bench 'BenchmarkTopN(Scratch|Batch)' \
+		-benchmem -benchtime=3x -count=1 ./internal/core
+	$(GO) run ./cmd/loadgen -preset gowalla -rank 12 -conns 16 -duration 8s \
+		-observe-frac 0 -no-cache -out /tmp/bench_pr6_base.json
+	$(GO) run ./cmd/loadgen -preset gowalla -rank 12 -conns 16 -duration 8s \
+		-observe-frac 0 -no-cache -coalesce -out /tmp/bench_pr6_coalesce.json
 
 # The PR 4 serving-freshness comparison (warm-start Observe vs retrain);
 # numbers recorded in BENCH_PR4.json.

@@ -54,6 +54,12 @@ type options struct {
 	retries     int
 	retryCap    time.Duration
 	out         string
+
+	storage       string
+	coalesce      bool
+	coalesceWin   time.Duration
+	coalesceBatch int
+	noCache       bool
 }
 
 // sample is one completed request, classified for aggregation. status and ms
@@ -86,6 +92,11 @@ func main() {
 	flag.IntVar(&o.retries, "retries", 3, "max retries per request on 503 (0 disables)")
 	flag.DurationVar(&o.retryCap, "retry-cap", 500*time.Millisecond, "ceiling on per-retry backoff (Retry-After is clamped to this)")
 	flag.StringVar(&o.out, "out", "BENCH_PR3.json", "output JSON path")
+	flag.StringVar(&o.storage, "storage", "", "self-host factor storage: f64 (default), f32, int8")
+	flag.BoolVar(&o.coalesce, "coalesce", false, "self-host with request coalescing (batched slab scoring)")
+	flag.DurationVar(&o.coalesceWin, "coalesce-window", 0, "coalescing window (0 = server default 200µs)")
+	flag.IntVar(&o.coalesceBatch, "coalesce-batch", 0, "coalescing flush threshold (0 = server default 32)")
+	flag.BoolVar(&o.noCache, "no-cache", false, "self-host with the response cache disabled (bench the scoring path)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -167,8 +178,41 @@ func run(o options) (err error) {
 		report.Errors.Shed503, report.Errors.Deadline504, report.Errors.Other)
 	fmt.Printf("retries: %d recommend, %d observe (on 503, honoring Retry-After, cap %s)\n",
 		report.Recommend.Retries, report.Observe.Retries, o.retryCap)
+	printServerStats(report.Server)
 	fmt.Printf("wrote %s\n", o.out)
 	return nil
+}
+
+// printServerStats summarizes the model-storage and coalescing blocks of the
+// scraped /metrics document (the full document is embedded in the report).
+func printServerStats(raw json.RawMessage) {
+	if raw == nil {
+		return
+	}
+	var m struct {
+		Model struct {
+			Storage      string  `json:"storage"`
+			FactorBytes  int64   `json:"factor_bytes"`
+			BytesPerUser float64 `json:"bytes_per_user"`
+		} `json:"model"`
+		Coalesce struct {
+			Enabled      bool    `json:"enabled"`
+			Batches      int64   `json:"batches"`
+			Requests     int64   `json:"requests"`
+			AvgBatchSize float64 `json:"avg_batch_size"`
+		} `json:"coalesce"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return
+	}
+	if m.Model.Storage != "" {
+		fmt.Printf("server model: %s storage, %d factor bytes (%.1f per user)\n",
+			m.Model.Storage, m.Model.FactorBytes, m.Model.BytesPerUser)
+	}
+	if m.Coalesce.Enabled {
+		fmt.Printf("server coalesce: %d batches, %d requests, avg batch %.2f\n",
+			m.Coalesce.Batches, m.Coalesce.Requests, m.Coalesce.AvgBatchSize)
+	}
 }
 
 // selfHost trains a recommender on the preset and serves it on a loopback
@@ -208,11 +252,33 @@ func selfHost(o *options) (string, func(), error) {
 	if err != nil {
 		return "", nil, err
 	}
+	if o.storage != "" {
+		mode, err := tcss.ParseStorageMode(o.storage)
+		if err != nil {
+			return "", nil, err
+		}
+		m, err := rec.Model.ToStorage(mode)
+		if err != nil {
+			return "", nil, err
+		}
+		rec.Model = m
+	}
 	o.users = rec.Model.I
 	o.pois = rec.Model.J
 	o.times = rec.Model.K
+	fmt.Printf("loadgen: serving %s storage, %d factor bytes (%.1f per user), coalesce=%v cache=%v\n",
+		rec.Model.Mode, rec.Model.FactorBytes(),
+		float64(rec.Model.FactorBytes())/float64(rec.Model.I), o.coalesce, !o.noCache)
 
-	srv, err := serve.New(rec, serve.Options{})
+	opts := serve.Options{
+		Coalesce:       o.coalesce,
+		CoalesceWindow: o.coalesceWin,
+		CoalesceBatch:  o.coalesceBatch,
+	}
+	if o.noCache {
+		opts.CacheSize = -1
+	}
+	srv, err := serve.New(rec, opts)
 	if err != nil {
 		return "", nil, err
 	}
@@ -405,6 +471,9 @@ type benchReport struct {
 		Seed        int64   `json:"seed"`
 		Retries     int     `json:"retries"`
 		RetryCapMs  float64 `json:"retry_cap_ms"`
+		Storage     string  `json:"storage,omitempty"`
+		Coalesce    bool    `json:"coalesce"`
+		NoCache     bool    `json:"no_cache"`
 	} `json:"config"`
 	Recommend struct {
 		OK           int     `json:"ok"`
@@ -447,6 +516,9 @@ func (a *aggregate) report(o options, elapsed time.Duration) benchReport {
 	r.Config.Seed = o.seed
 	r.Config.Retries = o.retries
 	r.Config.RetryCapMs = float64(o.retryCap) / float64(time.Millisecond)
+	r.Config.Storage = o.storage
+	r.Config.Coalesce = o.coalesce
+	r.Config.NoCache = o.noCache
 
 	r.Recommend.OK = a.recOK
 	r.Recommend.RPS = float64(a.recOK) / elapsed.Seconds()

@@ -11,6 +11,7 @@
 //	tcss -preset gowalla -recommend 12 -time 5   # top POIs for user 12, June
 //	tcss -preset gowalla -checkpoint ck.json -checkpoint-every 50
 //	tcss -preset gowalla -resume ck.json         # continue a checkpointed run
+//	tcss -preset gowalla -storage f32 -save-binary model.bin  # compact + mmap-able
 //
 // The serve subcommand starts the online recommendation HTTP server instead:
 //
@@ -54,6 +55,8 @@ func main() {
 		ckKeep     = flag.Int("checkpoint-keep", 0, "rotated prior checkpoints to keep (path.1 ... path.N)")
 		resume     = flag.String("resume", "", "resume training from a checkpoint written by -checkpoint")
 		savePath   = flag.String("save", "", "save the trained model to this file")
+		saveBinary = flag.String("save-binary", "", "save the trained model in the mmap-loadable v5 binary slab format")
+		storage    = flag.String("storage", "", "factor storage of the trained model: f64 (default), f32, int8")
 		faultSpec  = flag.String("fault", "", "inject a crash fault for testing: crash-save=N@B kills the process B bytes into the Nth checkpoint save")
 	)
 	flag.Parse()
@@ -89,6 +92,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tcss:", err)
 		os.Exit(1)
 	}
+	if *storage != "" {
+		mode, err := tcss.ParseStorageMode(*storage)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcss:", err)
+			os.Exit(1)
+		}
+		cfg.Storage = mode
+	}
 	cfg.CheckpointPath = *checkpoint
 	cfg.CheckpointEvery = *ckEvery
 	cfg.CheckpointKeep = *ckKeep
@@ -123,6 +134,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("model saved to %s\n", *savePath)
+	}
+	if *saveBinary != "" {
+		if err := rec.SaveModelBinary(*saveBinary); err != nil {
+			fmt.Fprintln(os.Stderr, "tcss:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("model saved to %s (%s storage, binary v5, %d factor bytes)\n",
+			*saveBinary, rec.Model.Mode, rec.Model.FactorBytes())
 	}
 
 	if *recommend >= 0 {

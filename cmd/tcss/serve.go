@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,6 +40,8 @@ Flags:
 		epochs    = fs.Int("epochs", 0, "training epochs (0 = default)")
 		rank      = fs.Int("rank", 0, "embedding rank (0 = default 10)")
 		modelPath = fs.String("model", "", "serve a saved model instead of training; its recorded generation is resumed")
+		mmapModel = fs.Bool("mmap", false, "memory-map a -model file in the v5 binary format instead of reading it (O(1) restart)")
+		storage   = fs.String("storage", "", "serve with this factor storage: f64, f32, int8 (empty keeps the model's mode)")
 		snapshot  = fs.String("snapshot", "", "enable POST /v1/snapshot/save writing the model (with generation) here")
 		snapKeep  = fs.Int("snapshot-keep", 0, "rotated prior snapshots to keep (path.1 ... path.N)")
 
@@ -54,6 +57,10 @@ Flags:
 		maxQueue    = fs.Int("max-queue", -1, "admission wait queue length (-1 = server default)")
 		timeout     = fs.Duration("timeout", 0, "per-request deadline (0 = server default)")
 		onlineEp    = fs.Int("online-epochs", 0, "SGD epochs per observe batch (0 = default)")
+
+		coalesce      = fs.Bool("coalesce", false, "batch concurrent recommend requests through one factor-slab pass")
+		coalesceWin   = fs.Duration("coalesce-window", 0, "max wait for batch co-travellers (0 = server default 200µs)")
+		coalesceBatch = fs.Int("coalesce-batch", 0, "batch flush threshold (0 = server default 32)")
 	)
 	fs.Parse(args)
 
@@ -81,12 +88,31 @@ Flags:
 		firstGen uint64
 	)
 	if *modelPath != "" {
-		// Fallback-aware load: a crash mid-save leaves the newest snapshot
-		// torn; the rotation ladder still holds the previous intact one.
-		m, gen, from, err := tcss.LoadModelVersionedFallback(*modelPath, 16)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tcss serve:", err)
-			os.Exit(1)
+		var (
+			m    *tcss.Model
+			gen  uint64
+			from string
+		)
+		if *mmapModel {
+			// Zero-copy path: the factor slabs alias the mapping, so startup
+			// cost is O(1) in model size. The mapping stays open for the
+			// process lifetime (the kernel reclaims it on exit).
+			var closer io.Closer
+			m, gen, closer, err = tcss.LoadModelMmap(*modelPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tcss serve:", err)
+				os.Exit(1)
+			}
+			defer closer.Close()
+			from = *modelPath + " (mmap)"
+		} else {
+			// Fallback-aware load: a crash mid-save leaves the newest snapshot
+			// torn; the rotation ladder still holds the previous intact one.
+			m, gen, from, err = tcss.LoadModelVersionedFallback(*modelPath, 16)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tcss serve:", err)
+				os.Exit(1)
+			}
 		}
 		rec, err = tcss.AttachModel(m, ds, g, cfg, 0.8)
 		if err != nil {
@@ -115,6 +141,22 @@ Flags:
 		fmt.Printf("trained in %s\n", time.Since(start).Round(time.Millisecond))
 	}
 
+	if *storage != "" {
+		mode, err := tcss.ParseStorageMode(*storage)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcss serve:", err)
+			os.Exit(1)
+		}
+		m, err := rec.Model.ToStorage(mode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcss serve:", err)
+			os.Exit(1)
+		}
+		rec.Model = m
+	}
+	fmt.Printf("model storage %s: %d factor bytes (%.1f per user)\n",
+		rec.Model.Mode, rec.Model.FactorBytes(), float64(rec.Model.FactorBytes())/float64(rec.Model.I))
+
 	online := tcss.DefaultOnlineConfig()
 	if *onlineEp > 0 {
 		online.Epochs = *onlineEp
@@ -129,6 +171,9 @@ Flags:
 		SnapshotPath:    *snapshot,
 		SnapshotKeep:    *snapKeep,
 		FirstGeneration: firstGen,
+		Coalesce:        *coalesce,
+		CoalesceWindow:  *coalesceWin,
+		CoalesceBatch:   *coalesceBatch,
 	}
 	srv, err := serve.New(rec, opts)
 	if err != nil {

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+
+	"tcss/internal/mat"
+)
+
+// BatchReq is one recommendation request inside a coalesced batch: the top-N
+// POIs for (User, T), excluding the POIs in Skip. Skip must be sorted
+// ascending (SideInfo.OwnPOIs is — BuildSideInfo sorts it); out-of-range
+// entries are ignored, matching TopNScratch.
+type BatchReq struct {
+	User int
+	T    int
+	N    int
+	Skip []int
+}
+
+// BatchScratch holds the reusable buffers of TopNBatch: one weight vector and
+// one bounded heap per request, a shared dequantization buffer, and the
+// per-request skip cursors. Like RecScratch it grows on demand, serves models
+// of any shape sequentially, and must not be used concurrently.
+type BatchScratch struct {
+	w     []float64 // batch × Rank, flattened per-request weights
+	row   []float64 // 2 × Rank dequantization buffer (compact modes)
+	ptr   []int     // per-request cursor into the sorted Skip list
+	act   []int     // indices of the requests with N > 0
+	heaps []topKHeap
+}
+
+// NewBatchScratch allocates a scratch sized for batches of up to hint
+// requests against m. Passing nil m or hint 0 is allowed; buffers grow
+// lazily.
+func NewBatchScratch(m *Model, hint int) *BatchScratch {
+	s := &BatchScratch{}
+	if m != nil && hint > 0 {
+		s.ensure(m, hint)
+	}
+	return s
+}
+
+func (s *BatchScratch) ensure(m *Model, batch int) {
+	if len(s.w) < batch*m.Rank {
+		s.w = make([]float64, batch*m.Rank)
+	}
+	if m.Mode != StorageFloat64 && len(s.row) < 2*m.Rank {
+		s.row = make([]float64, 2*m.Rank)
+	}
+	if len(s.ptr) < batch {
+		s.ptr = make([]int, batch)
+	}
+	if cap(s.act) < batch {
+		s.act = make([]int, 0, batch)
+	}
+	if cap(s.heaps) < batch {
+		heaps := make([]topKHeap, batch)
+		copy(heaps, s.heaps[:cap(s.heaps)])
+		s.heaps = heaps
+	}
+	s.heaps = s.heaps[:cap(s.heaps)]
+}
+
+// buildWeights writes the factored scoring weights w = h ⊙ U1ᵢ ⊙ U3ₖ into w,
+// dequantizing the factor rows through rowbuf (length ≥ 2·Rank) in compact
+// modes. It is the single source of the weight expression: TopNScratch,
+// TopNBatch, and ScoreCandidates all run the same floating-point operations
+// in the same order, which is what makes their scores comparable bit for bit.
+func (m *Model) buildWeights(i, k int, w, rowbuf []float64) {
+	var u1, u3 []float64
+	if m.Mode == StorageFloat64 {
+		u1, u3 = m.U1.Row(i), m.U3.Row(k)
+	} else {
+		u1 = m.u1Row(i, rowbuf[:m.Rank])
+		u3 = m.u3Row(k, rowbuf[m.Rank:2*m.Rank])
+	}
+	for t := range w {
+		w[t] = m.H[t] * u1[t] * u3[t]
+	}
+}
+
+// batchScanSlab is TopNBatch's scoring loop, generic over the factor slab
+// element type (float64, float32, int8 — widened to float64 by the mat
+// kernels). scales is the per-row dequantization scale slab (int8 mode) or
+// nil.
+//
+// Two levels of batching, both invisible to per-request results:
+//
+//   - The POI axis is tiled (batchTileJ) so each slab tile is read from
+//     memory once and served to every request from cache.
+//   - Within a tile, active requests are processed four at a time through
+//     mat.Dot4, which loads each row element once for all four lanes —
+//     register reuse only a batched caller can have. Each lane accumulates
+//     in exactly the Dot*Unrolled order, and within a tile every request
+//     still visits j ascending with the same heap semantics, so results are
+//     bit-identical to the unbatched TopNScratch path.
+//
+// Skip/filter exclusions are applied at offer time: a quad lane's dot for an
+// excluded row is computed and discarded, which is cheaper than breaking the
+// group (skip lists are short — a user's own POIs). The zero-out ablation
+// filter can exclude arbitrarily many rows, so a model carrying one takes
+// the scalar path. Skip lists are sorted; each request's cursor (s.ptr)
+// moves monotonically across tiles, O(Σ|Skip|) cursor work total.
+func batchScanSlab[E mat.Elem](m *Model, reqs []BatchReq, s *BatchScratch, slab []E, scales []float64) {
+	r := m.Rank
+	filter := m.ZeroOutFilter
+	act := s.act[:0]
+	for b := range reqs {
+		if reqs[b].N > 0 {
+			act = append(act, b)
+		}
+	}
+	s.act = act
+	tile := batchTileJ(r)
+	for j0 := 0; j0 < m.J; j0 += tile {
+		j1 := min(j0+tile, m.J)
+		g := 0
+		if filter == nil {
+			for ; g+4 <= len(act); g += 4 {
+				q0, q1, q2, q3 := act[g], act[g+1], act[g+2], act[g+3]
+				w0 := s.w[q0*r : q0*r+r]
+				w1 := s.w[q1*r : q1*r+r]
+				w2 := s.w[q2*r : q2*r+r]
+				w3 := s.w[q3*r : q3*r+r]
+				h0, h1, h2, h3 := &s.heaps[q0], &s.heaps[q1], &s.heaps[q2], &s.heaps[q3]
+				n0, n1, n2, n3 := reqs[q0].N, reqs[q1].N, reqs[q2].N, reqs[q3].N
+				sk0, sk1, sk2, sk3 := reqs[q0].Skip, reqs[q1].Skip, reqs[q2].Skip, reqs[q3].Skip
+				p0, p1, p2, p3 := s.ptr[q0], s.ptr[q1], s.ptr[q2], s.ptr[q3]
+				for j := j0; j < j1; j++ {
+					d0, d1, d2, d3 := mat.Dot4(w0, w1, w2, w3, slab[j*r:(j+1)*r])
+					if scales != nil {
+						sc := scales[j]
+						d0, d1, d2, d3 = sc*d0, sc*d1, sc*d2, sc*d3
+					}
+					for p0 < len(sk0) && sk0[p0] < j {
+						p0++
+					}
+					if p0 >= len(sk0) || sk0[p0] != j {
+						h0.offer(j, d0, n0)
+					}
+					for p1 < len(sk1) && sk1[p1] < j {
+						p1++
+					}
+					if p1 >= len(sk1) || sk1[p1] != j {
+						h1.offer(j, d1, n1)
+					}
+					for p2 < len(sk2) && sk2[p2] < j {
+						p2++
+					}
+					if p2 >= len(sk2) || sk2[p2] != j {
+						h2.offer(j, d2, n2)
+					}
+					for p3 < len(sk3) && sk3[p3] < j {
+						p3++
+					}
+					if p3 >= len(sk3) || sk3[p3] != j {
+						h3.offer(j, d3, n3)
+					}
+				}
+				s.ptr[q0], s.ptr[q1], s.ptr[q2], s.ptr[q3] = p0, p1, p2, p3
+			}
+		}
+		for ; g < len(act); g++ {
+			b := act[g]
+			rq := &reqs[b]
+			w := s.w[b*r : b*r+r]
+			h := &s.heaps[b]
+			sk, p := rq.Skip, s.ptr[b]
+			var zf []bool
+			if filter != nil {
+				zf = filter[rq.User]
+			}
+			for j := j0; j < j1; j++ {
+				for p < len(sk) && sk[p] < j {
+					p++
+				}
+				if p < len(sk) && sk[p] == j {
+					continue
+				}
+				if zf != nil && !zf[j] {
+					continue
+				}
+				d := mat.DotWiden(w, slab[j*r:(j+1)*r])
+				if scales != nil {
+					d = scales[j] * d
+				}
+				h.offer(j, d, rq.N)
+			}
+			s.ptr[b] = p
+		}
+	}
+}
+
+// batchTileJ is the POI-axis tile width of TopNBatch: enough rows that the
+// tile amortizes its loop overhead, few enough that a float64 tile
+// (tile × rank × 8 bytes) stays L1/L2-resident across every request in the
+// batch — that residency is the whole point of batching.
+func batchTileJ(rank int) int {
+	const budget = 32 << 10 // target tile footprint in bytes (L1-sized)
+	t := budget / (8 * rank)
+	if t < 64 {
+		t = 64
+	}
+	return t
+}
+
+// TopNBatch answers a batch of top-N requests in one pass over the POI factor
+// slab: the outer loop streams each U2 row once and the inner loop scores it
+// for every request, so a batch of B requests reads the slab once instead of
+// B times — the memory-bandwidth win that motivates request coalescing
+// (BENCH_PR1's blocked GEMM beats the rowwise path for the same reason).
+//
+// Per request the candidate order, scoring kernel, and heap semantics are
+// exactly TopNScratch's, so out[b] is bit-identical to
+// m.TopNScratch(reqs[b].User, reqs[b].T, reqs[b].N, reqs[b].Skip, …) in every
+// storage mode. Requests may mix users, time slices, N, and skip lists; each
+// Skip must be sorted ascending. A request with N <= 0 yields a nil entry.
+func (m *Model) TopNBatch(reqs []BatchReq, s *BatchScratch) [][]Recommendation {
+	for _, rq := range reqs {
+		if rq.User < 0 || rq.User >= m.I || rq.T < 0 || rq.T >= m.K {
+			panic(fmt.Sprintf("core: TopNBatch (user=%d, t=%d) out of model range %dx%d", rq.User, rq.T, m.I, m.K))
+		}
+	}
+	B := len(reqs)
+	out := make([][]Recommendation, B)
+	if B == 0 {
+		return out
+	}
+	s.ensure(m, B)
+	for b, rq := range reqs {
+		s.ptr[b] = 0
+		s.heaps[b].pois = s.heaps[b].pois[:0]
+		s.heaps[b].scores = s.heaps[b].scores[:0]
+		if rq.N > 0 {
+			m.buildWeights(rq.User, rq.T, s.w[b*m.Rank:(b+1)*m.Rank], s.row)
+		}
+	}
+
+	switch m.Mode {
+	case StorageFloat32:
+		batchScanSlab(m, reqs, s, m.Compact.U2f, nil)
+	case StorageInt8:
+		batchScanSlab(m, reqs, s, m.Compact.U2q, m.Compact.S2)
+	default:
+		batchScanSlab(m, reqs, s, m.U2.Data, nil)
+	}
+
+	for b := range reqs {
+		if reqs[b].N <= 0 {
+			continue
+		}
+		h := &s.heaps[b]
+		res := make([]Recommendation, len(h.pois))
+		for len(h.pois) > 0 {
+			last := len(h.pois) - 1
+			res[last] = Recommendation{POI: h.pois[0], Score: h.scores[0]}
+			h.swap(0, last)
+			h.pois = h.pois[:last]
+			h.scores = h.scores[:last]
+			h.down(0)
+		}
+		out[b] = res
+	}
+	return out
+}

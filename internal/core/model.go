@@ -32,10 +32,18 @@ type Model struct {
 	Rank    int
 	I, J, K int
 
-	U1 *mat.Matrix // I×r user factors
-	U2 *mat.Matrix // J×r POI factors
-	U3 *mat.Matrix // K×r time factors
-	H  []float64   // r dense-layer weights (Eq 6)
+	U1 *mat.Matrix // I×r user factors (nil in compact modes)
+	U2 *mat.Matrix // J×r POI factors (nil in compact modes)
+	U3 *mat.Matrix // K×r time factors (nil in compact modes)
+	H  []float64   // r dense-layer weights (Eq 6), always float64
+
+	// Mode selects the factor storage representation. In StorageFloat64 the
+	// U1/U2/U3 matrices above hold the factors and Compact is nil; in the
+	// compact modes U1/U2/U3 are nil and Compact holds the slabs. All
+	// scoring entry points dispatch on Mode; training and online updates
+	// require StorageFloat64 (see ToStorage / Decompress).
+	Mode    StorageMode
+	Compact *compactFactors
 
 	// ZeroOutFilter, when non-nil, marks POIs a user may be recommended
 	// (true = allowed). It implements the Zero-out ablation variant, which
@@ -58,9 +66,20 @@ func NewModel(i, j, k, rank int) *Model {
 	}
 }
 
-// Predict returns the raw model score X̂[i,j,k] of Eq (6).
+// Predict returns the raw model score X̂[i,j,k] of Eq (6). In compact
+// storage modes the three factor rows are dequantized into a small
+// temporary; hot loops should use ScoreCandidates or TopNScratch, which
+// amortize that work across candidates.
 func (m *Model) Predict(i, j, k int) float64 {
-	a, b, c := m.U1.Row(i), m.U2.Row(j), m.U3.Row(k)
+	var a, b, c []float64
+	if m.Mode == StorageFloat64 {
+		a, b, c = m.U1.Row(i), m.U2.Row(j), m.U3.Row(k)
+	} else {
+		buf := make([]float64, 3*m.Rank)
+		a = m.u1Row(i, buf[:m.Rank])
+		b = m.u2Row(j, buf[m.Rank:2*m.Rank])
+		c = m.u3Row(k, buf[2*m.Rank:])
+	}
 	var s float64
 	for t := 0; t < m.Rank; t++ {
 		s += m.H[t] * a[t] * b[t] * c[t]
@@ -98,8 +117,29 @@ func (m *Model) ScoreSlabScratch(i int, out, scratch []float64) {
 		panic(fmt.Sprintf("core: ScoreSlab scratch length %d, want >= %d", len(scratch), 2*m.Rank))
 	}
 	w := scratch[:m.Rank]
-	mat.HadamardInto(w, m.H, m.U1.Row(i))
-	mat.MulDiagTSlice(out, m.U2, w, m.U3, scratch[m.Rank:2*m.Rank])
+	if m.Mode == StorageFloat64 {
+		mat.HadamardInto(w, m.H, m.U1.Row(i))
+		mat.MulDiagTSlice(out, m.U2, w, m.U3, scratch[m.Rank:2*m.Rank])
+		return
+	}
+	// Compact path: dequantize U3 once (K·r, small), then stream U2 rows
+	// through the second scratch half. Allocates the U3 buffer; the compact
+	// modes are serving formats, and serving batches score via TopNBatch.
+	mat.HadamardInto(w, m.H, m.u1Row(i, scratch[m.Rank:2*m.Rank]))
+	u3 := make([]float64, m.K*m.Rank)
+	for k := 0; k < m.K; k++ {
+		m.u3Row(k, u3[k*m.Rank:(k+1)*m.Rank])
+	}
+	wj := scratch[m.Rank : 2*m.Rank]
+	for j := 0; j < m.J; j++ {
+		m.u2Row(j, wj)
+		for t := range wj {
+			wj[t] *= w[t]
+		}
+		for k := 0; k < m.K; k++ {
+			out[j*m.K+k] = mat.DotUnrolled(wj, u3[k*m.Rank:(k+1)*m.Rank])
+		}
+	}
 }
 
 // ScoreCandidates scores the candidate POIs js at a fixed (user, time) pair,
@@ -113,17 +153,32 @@ func (m *Model) ScoreCandidates(i, k int, js []int, out []float64) {
 		panic(fmt.Sprintf("core: ScoreCandidates out length %d for %d candidates", len(out), len(js)))
 	}
 	w := make([]float64, m.Rank)
-	u1, u3 := m.U1.Row(i), m.U3.Row(k)
+	var u1, u3 []float64
+	if m.Mode == StorageFloat64 {
+		u1, u3 = m.U1.Row(i), m.U3.Row(k)
+	} else {
+		buf := make([]float64, 2*m.Rank)
+		u1 = m.u1Row(i, buf[:m.Rank])
+		u3 = m.u3Row(k, buf[m.Rank:])
+	}
 	for t := range w {
 		w[t] = m.H[t] * u1[t] * u3[t]
 	}
 	filter := m.ZeroOutFilter
+	r := m.Rank
 	for n, j := range js {
 		if filter != nil && !filter[i][j] {
 			out[n] = math.Inf(-1)
 			continue
 		}
-		out[n] = mat.DotUnrolled(w, m.U2.Row(j))
+		switch m.Mode {
+		case StorageFloat32:
+			out[n] = mat.DotF32Unrolled(w, m.Compact.U2f[j*r:(j+1)*r])
+		case StorageInt8:
+			out[n] = m.Compact.S2[j] * mat.DotI8Unrolled(w, m.Compact.U2q[j*r:(j+1)*r])
+		default:
+			out[n] = mat.DotUnrolled(w, m.U2.Row(j))
+		}
 	}
 }
 
@@ -171,17 +226,37 @@ func (m *Model) TimeScores(i, j int) []float64 {
 // factor rows of U3, the heatmap of Figures 6 and 7.
 func (m *Model) TimeFactorSimilarity() *mat.Matrix {
 	sim := mat.New(m.K, m.K)
+	var ra, rb []float64
+	if m.Mode != StorageFloat64 {
+		ra, rb = make([]float64, m.Rank), make([]float64, m.Rank)
+	}
 	for a := 0; a < m.K; a++ {
 		for b := 0; b < m.K; b++ {
-			sim.Set(a, b, mat.CosineSimilarity(m.U3.Row(a), m.U3.Row(b)))
+			var va, vb []float64
+			if m.Mode == StorageFloat64 {
+				va, vb = m.U3.Row(a), m.U3.Row(b)
+			} else {
+				va, vb = m.u3Row(a, ra), m.u3Row(b, rb)
+			}
+			sim.Set(a, b, mat.CosineSimilarity(va, vb))
 		}
 	}
 	return sim
 }
 
 // Clone returns a deep copy of the model (the zero-out filter is shared,
-// since it is immutable once built).
+// since it is immutable once built). Compact slabs are copied onto the heap,
+// so a clone of an mmap-backed model outlives the mapping.
 func (m *Model) Clone() *Model {
+	if m.Mode != StorageFloat64 {
+		h := make([]float64, len(m.H))
+		copy(h, m.H)
+		return &Model{
+			Rank: m.Rank, I: m.I, J: m.J, K: m.K,
+			Mode: m.Mode, Compact: m.Compact.clone(),
+			H: h, ZeroOutFilter: m.ZeroOutFilter,
+		}
+	}
 	out := NewModel(m.I, m.J, m.K, m.Rank)
 	out.U1 = m.U1.Clone()
 	out.U2 = m.U2.Clone()

@@ -44,6 +44,9 @@ func (m *Model) UpdateOnline(x *tensor.COO, newEntries []tensor.Entry, side *Sid
 	if cfg.Epochs <= 0 || cfg.LR <= 0 {
 		return 0, fmt.Errorf("core: online update needs positive epochs and LR, got %d/%g", cfg.Epochs, cfg.LR)
 	}
+	if m.Mode != StorageFloat64 {
+		return 0, fmt.Errorf("core: online update requires float64 storage, model is %v (Decompress first, re-compact after)", m.Mode)
+	}
 	var fresh []tensor.Entry
 	affected := make(map[int]struct{})
 	for _, e := range newEntries {

@@ -50,12 +50,26 @@ type modelFile struct {
 //	     followed by the v3-layout JSON document. Torn, truncated, or
 //	     bit-flipped files are rejected at load with ErrChecksum instead of
 //	     being half-read.
+//	v5 — binary slab snapshot (see persist_binary.go): a fixed 128-byte frame
+//	     header sealing flat little-endian factor slabs at 64-byte-aligned
+//	     offsets, preserving the storage mode (f64/f32/int8) and loadable by
+//	     mmap with zero copying (LoadFileMmap). Written by SaveBinary; JSON
+//	     saves continue to write the v4 layout, because encoding/json
+//	     round-trips float64 exactly and the checkpoint/resume contract
+//	     depends on byte-identical re-saves.
 //
 // Load accepts v0 through FormatVersion and rejects anything newer with
 // ErrFormatVersion, so a model saved by a future build fails loudly instead
 // of being silently misread. v0-v3 files are unframed single JSON documents
-// and still load; framing is detected by the header's checksum field.
-const FormatVersion = 4
+// and still load; framing is detected by the header's checksum field; v5
+// binary files are detected by the frame version and decoded through the
+// slab loader (stream loads copy; only LoadFileMmap is zero-copy).
+const FormatVersion = 5
+
+// jsonFormatVersion is the layout version of JSON model files written by this
+// build. The JSON lineage is frozen at v4: v5 denotes the binary slab format
+// exclusively, so a frame's version field alone identifies the decoder.
+const jsonFormatVersion = 4
 
 // ErrFormatVersion is the sentinel wrapped by Load when a model file's format
 // version is not readable by this build. Test with errors.Is.
@@ -86,8 +100,15 @@ func (m *Model) SaveCheckpoint(w io.Writer, st *train.State) error {
 }
 
 func (m *Model) encode(w io.Writer, generation uint64, st *train.State) error {
+	// The JSON format stores float64 factors; compact models are widened to
+	// the exact values their scoring kernels compute with. Round-tripping a
+	// compact model through JSON therefore preserves scores but not the
+	// storage mode — use SaveBinary (FormatVersion 5) to keep both.
+	if m.Mode != StorageFloat64 {
+		m = m.Decompress()
+	}
 	mf := modelFile{
-		Version:    FormatVersion,
+		Version:    jsonFormatVersion,
 		Generation: generation,
 		Rank:       m.Rank, I: m.I, J: m.J, K: m.K,
 		U1: m.U1.Data, U2: m.U2.Data, U3: m.U3.Data, H: m.H,
@@ -99,7 +120,7 @@ func (m *Model) encode(w io.Writer, generation uint64, st *train.State) error {
 		return fmt.Errorf("core: encoding model: %w", err)
 	}
 	payload = append(payload, '\n')
-	if err := fault.WriteFramed(w, FormatVersion, payload); err != nil {
+	if err := fault.WriteFramed(w, jsonFormatVersion, payload); err != nil {
 		return fmt.Errorf("core: writing model: %w", err)
 	}
 	return nil
@@ -240,12 +261,24 @@ func decodeModel(r io.Reader) (*Model, modelFile, error) {
 		}
 		return nil, mf, fmt.Errorf("core: decoding model: %w", err)
 	}
+	if version == FormatVersion {
+		// v5 is the binary slab format; decode it through the slab loader so
+		// every stream-based entry point (LoadFile, the fallback ladders,
+		// resume) reads binary files transparently. The payload here is a
+		// heap buffer, so aliasing slices in the decoded model are mutable.
+		m, gen, err := decodeBinary(payload)
+		if err != nil {
+			return nil, mf, err
+		}
+		mf.Version, mf.Generation = version, gen
+		return m, mf, nil
+	}
 	if err := json.Unmarshal(payload, &mf); err != nil {
 		return nil, mf, fmt.Errorf("core: decoding model: %w", err)
 	}
-	if mf.Version < 0 || mf.Version > FormatVersion {
-		return nil, mf, fmt.Errorf("%w: file is v%d, this build reads v0-v%d",
-			ErrFormatVersion, mf.Version, FormatVersion)
+	if mf.Version < 0 || mf.Version > jsonFormatVersion {
+		return nil, mf, fmt.Errorf("%w: JSON model file declares v%d, this build reads JSON v0-v%d",
+			ErrFormatVersion, mf.Version, jsonFormatVersion)
 	}
 	if mf.Rank <= 0 || mf.I <= 0 || mf.J <= 0 || mf.K <= 0 {
 		return nil, mf, fmt.Errorf("core: model file has invalid shape %dx%dx%d rank %d", mf.I, mf.J, mf.K, mf.Rank)

@@ -18,6 +18,10 @@ import (
 type RecScratch struct {
 	w []float64 // Rank: factored per-(user,time) scoring weights
 
+	// row holds two Rank-length dequantization buffers for the compact
+	// storage modes (u1 and u3 rows widened to float64); unused at float64.
+	row []float64
+
 	// Skip bitmap with generation stamps: skipStamp[j] == stamp marks POI j
 	// excluded for the current call, so clearing is O(1) instead of O(J).
 	skipStamp []uint64
@@ -40,10 +44,21 @@ func (s *RecScratch) ensure(m *Model) {
 	if len(s.w) < m.Rank {
 		s.w = make([]float64, m.Rank)
 	}
+	if m.Mode != StorageFloat64 && len(s.row) < 2*m.Rank {
+		s.row = make([]float64, 2*m.Rank)
+	}
 	if len(s.skipStamp) < m.J {
 		s.skipStamp = make([]uint64, m.J)
 		s.stamp = 0
 	}
+}
+
+// weights fills s.w with the factored per-(user,time) scoring weights
+// w = h ⊙ U1ᵢ ⊙ U3ₖ (see Model.buildWeights, the shared implementation).
+func (s *RecScratch) weights(m *Model, i, k int) []float64 {
+	w := s.w[:m.Rank]
+	m.buildWeights(i, k, w, s.row)
+	return w
 }
 
 // topKHeap is a bounded min-heap over (score, POI) pairs whose root is the
@@ -141,23 +156,46 @@ func (m *Model) TopNScratch(i, k, n int, skip []int, s *RecScratch) []Recommenda
 		}
 	}
 
-	w := s.w[:m.Rank]
-	u1, u3 := m.U1.Row(i), m.U3.Row(k)
-	for t := range w {
-		w[t] = m.H[t] * u1[t] * u3[t]
-	}
+	w := s.weights(m, i, k)
 
 	s.heap.pois = s.heap.pois[:0]
 	s.heap.scores = s.heap.scores[:0]
 	filter := m.ZeroOutFilter
-	for j := 0; j < m.J; j++ {
-		if s.skipStamp[j] == s.stamp {
-			continue
+	// One loop per storage mode so the candidate scan stays branch-free and
+	// the float64 path is byte-identical to its pre-compact form.
+	switch m.Mode {
+	case StorageFloat32:
+		r, u2 := m.Rank, m.Compact.U2f
+		for j := 0; j < m.J; j++ {
+			if s.skipStamp[j] == s.stamp {
+				continue
+			}
+			if filter != nil && !filter[i][j] {
+				continue
+			}
+			s.heap.offer(j, mat.DotF32Unrolled(w, u2[j*r:(j+1)*r]), n)
 		}
-		if filter != nil && !filter[i][j] {
-			continue
+	case StorageInt8:
+		r, u2, sc := m.Rank, m.Compact.U2q, m.Compact.S2
+		for j := 0; j < m.J; j++ {
+			if s.skipStamp[j] == s.stamp {
+				continue
+			}
+			if filter != nil && !filter[i][j] {
+				continue
+			}
+			s.heap.offer(j, sc[j]*mat.DotI8Unrolled(w, u2[j*r:(j+1)*r]), n)
 		}
-		s.heap.offer(j, mat.DotUnrolled(w, m.U2.Row(j)), n)
+	default:
+		for j := 0; j < m.J; j++ {
+			if s.skipStamp[j] == s.stamp {
+				continue
+			}
+			if filter != nil && !filter[i][j] {
+				continue
+			}
+			s.heap.offer(j, mat.DotUnrolled(w, m.U2.Row(j)), n)
+		}
 	}
 
 	// Drain the heap worst-first into the tail of the result slice.

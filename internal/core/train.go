@@ -136,6 +136,13 @@ type Config struct {
 	// filesystem seam (fault.InjectFS in crash harnesses); nil uses the real
 	// filesystem.
 	FS fault.FS
+
+	// Storage selects how the returned model stores its factor matrices
+	// (StorageFloat64, StorageFloat32, StorageInt8). Training itself always
+	// runs in float64 — checkpoints and the EpochCallback model are
+	// unaffected — and the finished model is converted once at the end, so a
+	// compact mode changes only serving memory, never convergence.
+	Storage StorageMode
 }
 
 // DefaultConfig returns the default hyperparameters of this implementation.
@@ -198,6 +205,9 @@ func (c Config) Validate() error {
 	}
 	if c.CheckpointKeep < 0 {
 		return fmt.Errorf("core: CheckpointKeep must be non-negative, got %d", c.CheckpointKeep)
+	}
+	if !c.Storage.valid() {
+		return fmt.Errorf("core: unknown storage mode %d", int(c.Storage))
 	}
 	if err := par.Validate(c.Workers); err != nil {
 		return err
@@ -363,7 +373,7 @@ func Train(x *tensor.COO, side *SideInfo, cfg Config) (*Model, error) {
 	if cfg.Variant == ZeroOut {
 		m.ZeroOutFilter = buildZeroOutFilter(m, side, cfg.ZeroOutSigmaFrac, cfg.Workers)
 	}
-	return m, nil
+	return m.ToStorage(cfg.Storage)
 }
 
 // buildZeroOutFilter marks, per user, the POIs within σ = sigmaFrac·d_max of

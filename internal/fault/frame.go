@@ -47,6 +47,52 @@ func WriteFramed(w io.Writer, version int, payload []byte) error {
 	return err
 }
 
+// FixedHeaderSize is the exact byte length (newline included) of the header
+// line written by WriteFramedFixed. A fixed-size header gives the payload a
+// known file offset, which binary formats need so their internal slab offsets
+// can be page/cache-line aligned for zero-copy mmap loading. 128 is a
+// multiple of the 64-byte slab alignment and leaves ~60 bytes of headroom
+// over the longest possible header JSON.
+const FixedHeaderSize = 128
+
+// WriteFramedFixed is WriteFramed with the header line padded to exactly
+// FixedHeaderSize bytes. Padding lives in an extra "pad" JSON field inside
+// the header object — not as trailing whitespace — because ReadFramed slices
+// the payload immediately after the object plus one newline. ReadFramed
+// decodes both framings identically (unknown JSON fields are ignored), so
+// fixed frames need no reader-side changes.
+func WriteFramedFixed(w io.Writer, version int, payload []byte) error {
+	crc := crc32.Checksum(payload, castagnoli)
+	length := int64(len(payload))
+	bare, err := json.Marshal(frameHeader{Version: version, CRC32: &crc, Length: &length})
+	if err != nil {
+		return fmt.Errorf("fault: encoding frame header: %w", err)
+	}
+	// Rebuild with a pad field sized so the closing brace plus newline lands
+	// exactly at FixedHeaderSize: {...,"pad":"xxx…"}\n. Relative to bare, the
+	// rebuild adds `,"pad":"` + pad + `"` (the brace is dropped and re-added)
+	// plus the trailing newline.
+	padLen := FixedHeaderSize - len(bare) - len(`,"pad":""`) - 1
+	if padLen < 0 {
+		return fmt.Errorf("fault: frame header %d bytes overflows fixed size %d", len(bare), FixedHeaderSize)
+	}
+	hdr := make([]byte, 0, FixedHeaderSize)
+	hdr = append(hdr, bare[:len(bare)-1]...) // drop closing '}'
+	hdr = append(hdr, `,"pad":"`...)
+	for i := 0; i < padLen; i++ {
+		hdr = append(hdr, 'x')
+	}
+	hdr = append(hdr, '"', '}', '\n')
+	if len(hdr) != FixedHeaderSize {
+		return fmt.Errorf("fault: fixed frame header is %d bytes, want %d", len(hdr), FixedHeaderSize)
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
 // ReadFramed splits data into its format version and verified payload.
 //
 // Files whose leading JSON value carries no "crc32" field are unframed

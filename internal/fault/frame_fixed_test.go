@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestWriteFramedFixedLayout checks the fixed-width framing contract: the
+// header line is exactly FixedHeaderSize bytes for payloads whose CRC and
+// length render at different JSON widths, the payload therefore starts at a
+// known file offset, and ReadFramed decodes the padded header unchanged.
+func TestWriteFramedFixedLayout(t *testing.T) {
+	payloads := [][]byte{
+		{},
+		[]byte("a"),
+		bytes.Repeat([]byte("slab"), 100),
+		bytes.Repeat([]byte{0}, 1<<16),
+		// A payload tuned until its CRC32-C has a short decimal rendering,
+		// exercising a different header JSON width.
+		[]byte("\x01\x02\x03"),
+	}
+	for _, payload := range payloads {
+		var buf bytes.Buffer
+		if err := WriteFramedFixed(&buf, 5, payload); err != nil {
+			t.Fatalf("WriteFramedFixed(%d bytes): %v", len(payload), err)
+		}
+		sealed := buf.Bytes()
+		if len(sealed) != FixedHeaderSize+len(payload) {
+			t.Fatalf("sealed %d bytes, want %d header + %d payload",
+				len(sealed), FixedHeaderSize, len(payload))
+		}
+		if sealed[FixedHeaderSize-1] != '\n' {
+			t.Fatalf("header does not end with newline at byte %d", FixedHeaderSize-1)
+		}
+		v, got, err := ReadFramed(sealed)
+		if err != nil || v != 5 || !bytes.Equal(got, payload) {
+			t.Fatalf("round trip (%d bytes): v=%d err=%v, payload match %v",
+				len(payload), v, err, bytes.Equal(got, payload))
+		}
+		// The payload slice must alias the sealed buffer at the fixed offset —
+		// that subslice identity is what makes zero-copy mmap loading work.
+		if len(payload) > 0 && &got[0] != &sealed[FixedHeaderSize] {
+			t.Fatal("ReadFramed copied the payload instead of subslicing at the fixed offset")
+		}
+	}
+}
+
+// TestWriteFramedFixedRejections: fixed frames inherit the CRC contract.
+func TestWriteFramedFixedRejections(t *testing.T) {
+	payload := bytes.Repeat([]byte("z"), 300)
+	var buf bytes.Buffer
+	if err := WriteFramedFixed(&buf, 5, payload); err != nil {
+		t.Fatal(err)
+	}
+	sealed := buf.Bytes()
+	for cut := FixedHeaderSize; cut < len(sealed); cut += 37 {
+		if _, _, err := ReadFramed(sealed[:cut]); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("truncation at %d: err = %v, want ErrChecksum", cut, err)
+		}
+	}
+	for i := FixedHeaderSize; i < len(sealed); i += 41 {
+		mut := append([]byte(nil), sealed...)
+		mut[i] ^= 0x80
+		if _, _, err := ReadFramed(mut); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d: err = %v, want ErrChecksum", i, err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package mat
+
+import "fmt"
+
+// This file holds the mixed-precision inner-product kernels behind the
+// compact model storage modes (core.StorageFloat32 / core.StorageInt8): a
+// float64 weight vector against a float32 or int8 factor row, accumulating in
+// float64. They mirror DotUnrolled's four-accumulator structure so the
+// float32 scoring path differs from the float64 path only by the storage
+// rounding of the row operand, never by summation order.
+
+// DotF32Unrolled returns the inner product of the float64 vector a and the
+// float32 vector b, widening each b element to float64 before multiplying and
+// accumulating with four independent accumulators. The slices must have equal
+// length.
+func DotF32Unrolled(a []float64, b []float32) float64 {
+	n := len(a)
+	if n != len(b) {
+		panic(fmt.Sprintf("mat: DotF32Unrolled length mismatch %d vs %d", n, len(b)))
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * float64(b[i])
+		s1 += a[i+1] * float64(b[i+1])
+		s2 += a[i+2] * float64(b[i+2])
+		s3 += a[i+3] * float64(b[i+3])
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * float64(b[i])
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// DotI8Unrolled returns the inner product of the float64 vector a and the
+// int8 vector q, widening each quantized element to float64. Callers multiply
+// the result by the row's dequantization scale; factoring the scale out of
+// the loop keeps the kernel a pure dot product.
+func DotI8Unrolled(a []float64, q []int8) float64 {
+	n := len(a)
+	if n != len(q) {
+		panic(fmt.Sprintf("mat: DotI8Unrolled length mismatch %d vs %d", n, len(q)))
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * float64(q[i])
+		s1 += a[i+1] * float64(q[i+1])
+		s2 += a[i+2] * float64(q[i+2])
+		s3 += a[i+3] * float64(q[i+3])
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * float64(q[i])
+	}
+	return (s0 + s1) + (s2 + s3)
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package mmapio
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile on platforms without a unix mmap reports failure; Open falls back
+// to a heap read, so callers see the same Mapping interface either way.
+func mmapFile(f *os.File, size int) (*Mapping, error) {
+	return nil, errors.New("mmap unsupported on this platform")
+}
+
+func munmap(data []byte) error { return nil }

@@ -1,0 +1,21 @@
+//go:build unix
+
+package mmapio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and privately. The mapping is
+// page-aligned by construction, which the binary snapshot loader relies on
+// for its slab alignment guarantees.
+func mmapFile(f *os.File, size int) (*Mapping, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{Data: data, Mapped: true}, nil
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

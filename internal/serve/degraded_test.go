@@ -162,7 +162,10 @@ func TestMetricsMoveUnderInjectedFaults(t *testing.T) {
 	hooks := fault.NewHooks(3)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "snap.json")
-	inj := fault.NewInjectFS(nil, fault.Plan{FlipByteAt: 64})
+	// Byte 200 sits inside the CRC-framed payload of the v5 binary snapshot
+	// (the first fault.FixedHeaderSize bytes are the fixed header, whose pad
+	// region tolerates flips by design).
+	inj := fault.NewInjectFS(nil, fault.Plan{FlipByteAt: 200})
 	srv, hs := newTestServer(t, Options{
 		SnapshotPath:     path,
 		FS:               inj,

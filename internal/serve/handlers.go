@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"tcss/internal/core"
 	"tcss/internal/lbsn"
 )
 
@@ -173,13 +174,24 @@ func (s *Server) serveRecommend(w http.ResponseWriter, r *http.Request) {
 	if release == nil {
 		return
 	}
-	sc := s.getScratch()
-	recs := snap.Model.TopNScratch(user, t, n, snap.Side.OwnPOIs[user], sc)
-	s.putScratch(sc)
+	var recs []core.Recommendation
+	gen := snap.Gen
+	if s.coal != nil {
+		// Coalesced path: join the pending batch; the response is consistent
+		// with the snapshot the batch executed on, whose generation it
+		// reports (and the cache entry below is keyed on).
+		var esnap *Snapshot
+		recs, esnap = s.coal.do(user, t, n)
+		gen = esnap.Gen
+	} else {
+		sc := s.getScratch()
+		recs = snap.Model.TopNScratch(user, t, n, snap.Side.OwnPOIs[user], sc)
+		s.putScratch(sc)
+	}
 	release()
 
 	resp := recommendResponse{
-		User: user, T: t, Generation: snap.Gen,
+		User: user, T: t, Generation: gen,
 		Results: make([]recommendation, len(recs)),
 	}
 	for i, rec := range recs {
@@ -192,7 +204,7 @@ func (s *Server) serveRecommend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body = append(body, '\n')
-	s.cache.put(key, body)
+	s.cache.put(cacheKey{gen: gen, user: user, t: t, n: n}, body)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", "MISS")
 	w.Write(body)

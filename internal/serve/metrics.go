@@ -86,9 +86,22 @@ type metrics struct {
 	breakerRejected   atomic.Int64 // writes rejected while open
 	checksumRejected  atomic.Int64 // read-backs that failed the CRC frame
 
+	// Coalescing counters: batches executed, requests that travelled in
+	// them, and a batch-size histogram (buckets per coalesceBucket).
+	coalesceBatches  atomic.Int64
+	coalesceRequests atomic.Int64
+	coalesceHist     [len(coalesceBucketLabels)]atomic.Int64
+
 	recommendLat latencyRing
 	explainLat   latencyRing
 	observeLat   latencyRing
+}
+
+// coalesceBucketCount is one batch-size histogram bucket in /metrics,
+// serialized as an ordered list so bucket order survives JSON encoding.
+type coalesceBucketCount struct {
+	Bucket string `json:"bucket"`
+	Count  int64  `json:"count"`
 }
 
 // routeStats is the per-request-class block of the /metrics document.
@@ -125,6 +138,30 @@ type metricsSnapshot struct {
 		Swaps      int64   `json:"swaps"`
 		Saves      int64   `json:"saves"`
 	} `json:"snapshot"`
+
+	// Model reports the resident factor storage of the served snapshot:
+	// the storage mode, total factor bytes (slabs + scales + core weights),
+	// and bytes per user — the capacity-planning number the compact modes
+	// exist to shrink.
+	Model struct {
+		Storage      string  `json:"storage"`
+		FactorBytes  int64   `json:"factor_bytes"`
+		BytesPerUser float64 `json:"bytes_per_user"`
+	} `json:"model"`
+
+	// Coalesce reports the request-batching pipeline: whether it is on, how
+	// many batches ran, how many requests travelled in them, the mean batch
+	// size, and a batch-size histogram. Mean sizes near 1 mean the window is
+	// too short (or load too light) for requests to share slab passes.
+	Coalesce struct {
+		Enabled      bool                  `json:"enabled"`
+		WindowUs     float64               `json:"window_us"`
+		MaxBatch     int                   `json:"max_batch"`
+		Batches      int64                 `json:"batches"`
+		Requests     int64                 `json:"requests"`
+		AvgBatchSize float64               `json:"avg_batch_size"`
+		BatchSizes   []coalesceBucketCount `json:"batch_size_counts"`
+	} `json:"coalesce"`
 
 	ObserveStats struct {
 		Applied    int64 `json:"applied"`
@@ -181,9 +218,29 @@ func (s *Server) collectMetrics() metricsSnapshot {
 	if snap := s.snap.load(); snap != nil {
 		out.Snapshot.Generation = snap.Gen
 		out.Snapshot.AgeSeconds = s.opts.now().Sub(snap.Created).Seconds()
+		out.Model.Storage = snap.Model.Mode.String()
+		out.Model.FactorBytes = snap.Model.FactorBytes()
+		if snap.Model.I > 0 {
+			out.Model.BytesPerUser = float64(out.Model.FactorBytes) / float64(snap.Model.I)
+		}
 	}
 	out.Snapshot.Swaps = m.snapshotSwaps.Load()
 	out.Snapshot.Saves = m.snapshotSaves.Load()
+
+	out.Coalesce.Enabled = s.coal != nil
+	if s.coal != nil {
+		out.Coalesce.WindowUs = float64(s.coal.window) / float64(time.Microsecond)
+		out.Coalesce.MaxBatch = s.coal.maxBatch
+	}
+	out.Coalesce.Batches = m.coalesceBatches.Load()
+	out.Coalesce.Requests = m.coalesceRequests.Load()
+	if out.Coalesce.Batches > 0 {
+		out.Coalesce.AvgBatchSize = float64(out.Coalesce.Requests) / float64(out.Coalesce.Batches)
+	}
+	out.Coalesce.BatchSizes = make([]coalesceBucketCount, len(coalesceBucketLabels))
+	for i, label := range coalesceBucketLabels {
+		out.Coalesce.BatchSizes[i] = coalesceBucketCount{Bucket: label, Count: m.coalesceHist[i].Load()}
+	}
 
 	out.ObserveStats.Applied = m.observeApplied.Load()
 	out.ObserveStats.Noop = m.observeNoop.Load()

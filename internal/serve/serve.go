@@ -28,7 +28,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -61,6 +60,18 @@ type Options struct {
 
 	// CacheSize is the LRU capacity in responses; < 0 disables the cache.
 	CacheSize int
+
+	// Coalesce batches concurrent recommend requests through one pass over
+	// the POI factor slab (core.TopNBatch): a request joins the pending batch,
+	// which executes when it reaches CoalesceBatch requests or CoalesceWindow
+	// after its first member arrived, whichever comes first. Per request the
+	// results are bit-identical to the per-request path against the snapshot
+	// the batch executed on (whose generation the response reports). Worth it
+	// under concurrent load; off by default because a lone request pays the
+	// window as added latency.
+	Coalesce       bool
+	CoalesceWindow time.Duration // max wait for co-travellers; default 200µs
+	CoalesceBatch  int           // flush threshold; default 32
 
 	// ObserveQueue bounds buffered writer commands (observe/save batches);
 	// a full queue sheds observes with 503.
@@ -126,6 +137,8 @@ func DefaultOptions() Options {
 		MaxQueue:       256,
 		RetryAfter:     time.Second,
 		CacheSize:      8192,
+		CoalesceWindow: 200 * time.Microsecond,
+		CoalesceBatch:  32,
 		ObserveQueue:   64,
 		Online:         tcss.DefaultOnlineConfig(),
 
@@ -135,6 +148,40 @@ func DefaultOptions() Options {
 		SaveRetries:        2,
 		SaveRetryBackoff:   50 * time.Millisecond,
 	}
+}
+
+// Validate rejects option combinations that withDefaults cannot repair.
+// Non-positive values generally mean "use the default", so Validate only
+// flags settings that are explicitly nonsensical: negative coalescing knobs
+// (a negative duration or batch size is never a plausible default request), a
+// coalesce batch of one (pays the batching synchronisation for no reuse — set
+// Coalesce false instead), and a coalesce window at or beyond the request
+// timeout (every coalesced request would miss its deadline waiting for
+// co-travellers). New calls Validate before applying defaults.
+func (o Options) Validate() error {
+	if o.CoalesceWindow < 0 {
+		return fmt.Errorf("serve: coalesce window must not be negative, got %v", o.CoalesceWindow)
+	}
+	if o.CoalesceBatch < 0 {
+		return fmt.Errorf("serve: coalesce batch must not be negative, got %d", o.CoalesceBatch)
+	}
+	if o.CoalesceBatch == 1 {
+		return fmt.Errorf("serve: coalesce batch of 1 defeats coalescing; disable Coalesce instead")
+	}
+	if o.Coalesce {
+		timeout := o.RequestTimeout
+		if timeout <= 0 {
+			timeout = DefaultOptions().RequestTimeout
+		}
+		window := o.CoalesceWindow
+		if window == 0 {
+			window = DefaultOptions().CoalesceWindow
+		}
+		if window >= timeout {
+			return fmt.Errorf("serve: coalesce window %v must be below the request timeout %v", window, timeout)
+		}
+	}
+	return nil
 }
 
 func (o Options) withDefaults() Options {
@@ -159,6 +206,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheSize == 0 {
 		o.CacheSize = def.CacheSize
+	}
+	if o.CoalesceWindow <= 0 {
+		o.CoalesceWindow = def.CoalesceWindow
+	}
+	if o.CoalesceBatch <= 0 {
+		o.CoalesceBatch = def.CoalesceBatch
 	}
 	if o.ObserveQueue <= 0 {
 		o.ObserveQueue = def.ObserveQueue
@@ -213,6 +266,7 @@ type Server struct {
 	rec *tcss.Recommender
 
 	snap  holder
+	coal  *coalescer // nil unless Options.Coalesce
 	cache *lruCache
 	met   *metrics
 	adm   *admission
@@ -245,6 +299,9 @@ func New(rec *tcss.Recommender, opts Options) (*Server, error) {
 	if rec == nil || rec.Model == nil || rec.Side == nil {
 		return nil, fmt.Errorf("serve: recommender is not fitted")
 	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:  opts,
@@ -264,6 +321,9 @@ func New(rec *tcss.Recommender, opts Options) (*Server, error) {
 		Side:    rec.Side,
 		Created: opts.now(),
 	})
+	if opts.Coalesce {
+		s.coal = newCoalescer(s, opts.CoalesceWindow, opts.CoalesceBatch)
+	}
 	s.mux = s.routes()
 	s.wg.Add(1)
 	go s.writerLoop()
@@ -435,18 +495,16 @@ func (s *Server) handleSave() writerResult {
 }
 
 // trySave is one snapshot-save attempt: the injected fault seam, a
-// crash-safe rotated write, and a read-back verification so a write the
-// filesystem silently tore (short write, bit rot) is caught here — where a
-// retry can fix it — instead of at the next restart.
+// crash-safe rotated write of the v5 binary slab format (mmap-loadable for
+// O(1) restart), and a read-back verification so a write the filesystem
+// silently tore (short write, bit rot) is caught here — where a retry can fix
+// it — instead of at the next restart.
 func (s *Server) trySave(snap *Snapshot) error {
 	if err := s.opts.Faults.Before("save"); err != nil {
 		return err
 	}
 	path := s.opts.SnapshotPath
-	err := fault.WriteFileRotate(s.opts.FS, path, s.opts.SnapshotKeep, func(w io.Writer) error {
-		return snap.Model.SaveVersioned(w, snap.Gen)
-	})
-	if err != nil {
+	if err := snap.Model.SaveBinaryRotate(s.opts.FS, path, s.opts.SnapshotKeep, snap.Gen); err != nil {
 		return err
 	}
 	if _, _, err := core.LoadFileVersioned(path); err != nil {

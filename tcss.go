@@ -23,6 +23,7 @@ package tcss
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
 
@@ -50,6 +51,11 @@ type (
 	Granularity = lbsn.Granularity
 	// Result holds the Hit@K and MRR metrics.
 	Result = eval.Result
+	// StorageMode selects how a trained model's factor matrices are held in
+	// memory: float64 (exact), float32 (half the bytes), or int8 with
+	// per-row scales (a quarter of float32). Training always runs at
+	// float64; Config.Storage converts once at the end.
+	StorageMode = core.StorageMode
 )
 
 // Re-exported enum values.
@@ -66,7 +72,15 @@ const (
 	Month = lbsn.Month
 	Week  = lbsn.Week
 	Hour  = lbsn.Hour
+
+	StorageFloat64 = core.StorageFloat64
+	StorageFloat32 = core.StorageFloat32
+	StorageInt8    = core.StorageInt8
 )
+
+// ParseStorageMode parses a storage-mode name ("f64", "f32", "int8"/"i8") as
+// used by Config.Storage and the CLI -storage flags.
+func ParseStorageMode(s string) (StorageMode, error) { return core.ParseStorageMode(s) }
 
 // DefaultConfig returns the default TCSS hyperparameters (the paper's §V-D
 // settings adapted to this implementation's full-batch optimizer; see the
@@ -240,7 +254,15 @@ func (r *Recommender) Observe(checkIns []lbsn.CheckIn, cfg OnlineConfig) (int, e
 	for n, c := range checkIns {
 		entries[n] = tensor.Entry{I: c.User, J: c.POI, K: r.Gran.Index(c), Val: 1}
 	}
-	model, train := r.Model.Clone(), r.Train.Clone()
+	// Compact models (float32 / int8 storage) cannot take gradient updates
+	// directly: widen to float64, update, then re-compact so the published
+	// model keeps its storage mode. A float64 model skips both conversions.
+	mode := r.Model.Mode
+	model := r.Model.Decompress()
+	if model == r.Model {
+		model = model.Clone()
+	}
+	train := r.Train.Clone()
 	added, err := model.UpdateOnline(train, entries, r.Side, cfg)
 	if err != nil {
 		return 0, err
@@ -251,6 +273,10 @@ func (r *Recommender) Observe(checkIns []lbsn.CheckIn, cfg OnlineConfig) (int, e
 	side, err := core.BuildSideInfo(r.Dataset.Social, r.Dataset.Distances(), train)
 	if err != nil {
 		return 0, fmt.Errorf("%w: rebuilding side info: %v", ErrObserveReverted, err)
+	}
+	model, err = model.ToStorage(mode)
+	if err != nil {
+		return 0, fmt.Errorf("%w: re-compacting model: %v", ErrObserveReverted, err)
 	}
 	r.Model, r.Train, r.Side = model, train, side
 	r.Dataset.CheckIns = append(r.Dataset.CheckIns, checkIns...)
@@ -276,4 +302,27 @@ func LoadModelVersioned(path string) (*Model, uint64, error) { return core.LoadF
 // snapshot save may not have completed.
 func LoadModelVersionedFallback(path string, depth int) (*Model, uint64, string, error) {
 	return core.LoadFileVersionedFallback(path, depth)
+}
+
+// SaveModelBinary persists the model in the v5 binary slab format: CRC-framed
+// little-endian factor slabs at 64-byte-aligned offsets, loadable zero-copy
+// via LoadModelMmap. Generation is recorded as with SaveModel's versioned
+// variant.
+func (r *Recommender) SaveModelBinary(path string) error {
+	return r.Model.SaveFileBinary(path, 0)
+}
+
+// LoadModelMmap memory-maps a v5 binary model file and returns a model whose
+// factor slabs alias the mapping — restart cost is O(1) in model size, and
+// the OS pages factors in on first use. The returned closer unmaps the file;
+// it must outlive every use of the model (Clone first to keep a heap copy).
+// The mapped model is read-only: scoring is safe, in-place mutation is not
+// (Observe handles this transparently by cloning). On platforms without mmap
+// the file is read into memory and the model behaves like a normal load.
+func LoadModelMmap(path string) (*Model, uint64, io.Closer, error) {
+	m, gen, mapping, err := core.LoadFileMmap(path)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return m, gen, mapping, nil
 }
