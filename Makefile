@@ -7,7 +7,7 @@ KERNEL_BENCH = 'BenchmarkLoss(Naive|NegSampling|Rewritten)$$|BenchmarkLossRewrit
 
 .PHONY: build test race vet bench bench-all check gradcheck fuzz golden-update \
 	serve loadgen serve-bench serve-smoke resume-smoke crash-smoke bench-pr4 \
-	quant-smoke bench-pr6
+	quant-smoke bench-pr6 cluster-smoke bench-pr7
 
 build:
 	$(GO) build ./...
@@ -147,6 +147,24 @@ bench-pr6:
 		-observe-frac 0 -no-cache -out /tmp/bench_pr6_base.json
 	$(GO) run ./cmd/loadgen -preset gowalla -rank 12 -conns 16 -duration 8s \
 		-observe-frac 0 -no-cache -coalesce -out /tmp/bench_pr6_coalesce.json
+
+# Cluster serving end-to-end smoke: spawn a 4-shard × 2-replica local
+# cluster on a 1M-user deterministic synthetic model behind a tcssgw
+# gateway, drive a verified closed-loop burst (every recommend response is
+# recomputed locally and compared byte-for-byte), kill -9 one primary
+# mid-burst, and require zero mismatches, at least one recorded failover,
+# and a still-serving (degraded, not down) health rollup. Exits nonzero on
+# any routing or replication mismatch. Scale down locally with e.g.
+# CLUSTER_SMOKE_USERS=20000.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
+
+# The PR 7 cluster-serving benchmark: the same 4×2 spawned cluster driven
+# through the gateway with verification on; numbers recorded in
+# BENCH_PR7.json by hand alongside the single-node PR 3/PR 6 baselines.
+bench-pr7:
+	CLUSTER_SMOKE_DURATION=10s CLUSTER_SMOKE_OUT=/tmp/bench_pr7_cluster.json \
+		bash scripts/cluster_smoke.sh
 
 # The PR 4 serving-freshness comparison (warm-start Observe vs retrain);
 # numbers recorded in BENCH_PR4.json.

@@ -29,9 +29,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tcss"
+	"tcss/internal/core"
 	"tcss/internal/lbsn"
 	"tcss/internal/serve"
 )
@@ -60,6 +62,10 @@ type options struct {
 	coalesceWin   time.Duration
 	coalesceBatch int
 	noCache       bool
+
+	verify    bool
+	synthRank int
+	ver       *verifier
 }
 
 // sample is one completed request, classified for aggregation. status and ms
@@ -71,6 +77,7 @@ type sample struct {
 	ms       float64
 	cacheHit bool
 	retries  int
+	body     []byte // final-attempt response body, captured only under -verify
 }
 
 func main() {
@@ -97,6 +104,8 @@ func main() {
 	flag.DurationVar(&o.coalesceWin, "coalesce-window", 0, "coalescing window (0 = server default 200µs)")
 	flag.IntVar(&o.coalesceBatch, "coalesce-batch", 0, "coalescing flush threshold (0 = server default 32)")
 	flag.BoolVar(&o.noCache, "no-cache", false, "self-host with the response cache disabled (bench the scoring path)")
+	flag.BoolVar(&o.verify, "verify", false, "recompute every recommend response from the synthetic model and exit nonzero on any mismatch (requires -url against a -synth-* cluster with matching -users/-pois/-times/-synth-rank/-seed, and -observe-frac 0)")
+	flag.IntVar(&o.synthRank, "synth-rank", 8, "synthetic model embedding rank for -verify")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -122,6 +131,22 @@ func run(o options) (err error) {
 		if o.observeFrac > 0 && o.pois <= 0 {
 			return fmt.Errorf("-url mode with -observe-frac > 0 requires -pois")
 		}
+	}
+	if o.verify {
+		switch {
+		case o.url == "":
+			return fmt.Errorf("-verify requires -url (the target must serve the synthetic model)")
+		case o.observeFrac != 0:
+			return fmt.Errorf("-verify requires -observe-frac 0 (observes would advance the served model past the local copy)")
+		case o.pois <= 0:
+			return fmt.Errorf("-verify requires -pois (the synthetic model's POI count)")
+		}
+		o.ver, err = newVerifier(o)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loadgen: verifying against local synthetic model (users=%d pois=%d times=%d rank=%d seed=%d)\n",
+			o.users, o.pois, o.times, o.synthRank, o.seed)
 	}
 
 	client := &http.Client{
@@ -160,6 +185,15 @@ func run(o options) (err error) {
 
 	report := agg.report(o, elapsed)
 	report.Server = scrapeMetrics(client, base)
+	if o.ver != nil {
+		o.ver.mu.Lock()
+		report.Verify = &verifyReport{
+			Checked:       o.ver.checked.Load(),
+			Mismatches:    o.ver.mismatches.Load(),
+			FirstMismatch: o.ver.first,
+		}
+		o.ver.mu.Unlock()
+	}
 
 	raw, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {
@@ -180,6 +214,17 @@ func run(o options) (err error) {
 		report.Recommend.Retries, report.Observe.Retries, o.retryCap)
 	printServerStats(report.Server)
 	fmt.Printf("wrote %s\n", o.out)
+	if report.Verify != nil {
+		fmt.Printf("verify: %d responses checked against the local model, %d mismatches\n",
+			report.Verify.Checked, report.Verify.Mismatches)
+		if report.Verify.Mismatches > 0 {
+			return fmt.Errorf("verify: %d mismatched responses (first: %s)",
+				report.Verify.Mismatches, report.Verify.FirstMismatch)
+		}
+		if report.Verify.Checked == 0 {
+			return fmt.Errorf("verify: no successful recommend responses to check")
+		}
+	}
 	return nil
 }
 
@@ -363,9 +408,79 @@ func issue(o options, base string, client *http.Client, rng *rand.Rand) sample {
 		s.observe = true
 		return s
 	}
-	url := fmt.Sprintf("%s/v1/recommend?user=%d&t=%d&n=%d",
-		base, rng.Intn(o.users), rng.Intn(o.times), o.topN)
-	return timed(o, rng, func() (*http.Response, error) { return client.Get(url) })
+	user, t := rng.Intn(o.users), rng.Intn(o.times)
+	url := fmt.Sprintf("%s/v1/recommend?user=%d&t=%d&n=%d", base, user, t, o.topN)
+	s := timed(o, rng, func() (*http.Response, error) { return client.Get(url) })
+	if o.ver != nil && s.status == http.StatusOK {
+		o.ver.check(user, t, o.topN, s.body)
+	}
+	s.body = nil
+	return s
+}
+
+// verifier recomputes expected recommend responses from a local copy of the
+// cluster's deterministic synthetic model (see tcss.SynthServing). Scores are
+// compared exactly: JSON's shortest-round-trip float64 encoding means a
+// correctly-routed, correctly-replicated response decodes to bit-identical
+// values, so any inequality is a real serving defect (wrong shard, stale
+// generation, torn shipment), not noise.
+type verifier struct {
+	model *tcss.Model
+	side  *tcss.SideInfo
+	pool  sync.Pool
+
+	checked    atomic.Int64
+	mismatches atomic.Int64
+
+	mu    sync.Mutex
+	first string
+}
+
+func newVerifier(o options) (*verifier, error) {
+	model, side, err := tcss.SynthServing(o.users, o.pois, o.times, o.synthRank, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	v := &verifier{model: model, side: side}
+	v.pool.New = func() any { return core.NewRecScratch(model) }
+	return v, nil
+}
+
+func (v *verifier) check(user, t, n int, body []byte) {
+	var resp struct {
+		Results []struct {
+			POI   int     `json:"poi"`
+			Score float64 `json:"score"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		v.record(fmt.Sprintf("user=%d t=%d: decoding response: %v", user, t, err))
+		return
+	}
+	sc := v.pool.Get().(*core.RecScratch)
+	want := v.model.TopNScratch(user, t, n, v.side.OwnPOIs[user], sc)
+	v.pool.Put(sc)
+	v.checked.Add(1)
+	if len(resp.Results) != len(want) {
+		v.record(fmt.Sprintf("user=%d t=%d: %d results, want %d", user, t, len(resp.Results), len(want)))
+		return
+	}
+	for i, got := range resp.Results {
+		if got.POI != want[i].POI || got.Score != want[i].Score {
+			v.record(fmt.Sprintf("user=%d t=%d rank %d: got poi=%d score=%v, want poi=%d score=%v",
+				user, t, i, got.POI, got.Score, want[i].POI, want[i].Score))
+			return
+		}
+	}
+}
+
+func (v *verifier) record(msg string) {
+	v.mismatches.Add(1)
+	v.mu.Lock()
+	if v.first == "" {
+		v.first = msg
+	}
+	v.mu.Unlock()
 }
 
 // timed issues one request with up to o.retries retries, retrying only on
@@ -386,7 +501,11 @@ func timed(o options, rng *rand.Rand, send func() (*http.Response, error)) sampl
 		s.status = resp.StatusCode
 		s.cacheHit = resp.Header.Get("X-Cache") == "HIT"
 		retryAfter := resp.Header.Get("Retry-After")
-		io.Copy(io.Discard, resp.Body)
+		if o.ver != nil {
+			s.body, _ = io.ReadAll(resp.Body)
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
 		resp.Body.Close()
 		if s.status != http.StatusServiceUnavailable || attempt >= o.retries {
 			break
@@ -495,7 +614,14 @@ type benchReport struct {
 		Deadline504 int `json:"deadline_504"`
 		Other       int `json:"other"`
 	} `json:"errors"`
+	Verify *verifyReport   `json:"verify,omitempty"`
 	Server json.RawMessage `json:"server_metrics,omitempty"`
+}
+
+type verifyReport struct {
+	Checked       int64  `json:"checked"`
+	Mismatches    int64  `json:"mismatches"`
+	FirstMismatch string `json:"first_mismatch,omitempty"`
 }
 
 func (a *aggregate) report(o options, elapsed time.Duration) benchReport {

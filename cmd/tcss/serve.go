@@ -9,10 +9,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"tcss"
+	"tcss/internal/cluster"
+	"tcss/internal/geo"
 	"tcss/internal/lbsn"
 	"tcss/internal/serve"
 )
@@ -61,105 +64,153 @@ Flags:
 		coalesce      = fs.Bool("coalesce", false, "batch concurrent recommend requests through one factor-slab pass")
 		coalesceWin   = fs.Duration("coalesce-window", 0, "max wait for batch co-travellers (0 = server default 200µs)")
 		coalesceBatch = fs.Int("coalesce-batch", 0, "batch flush threshold (0 = server default 32)")
+
+		shardName     = fs.String("shard-name", "", "this node's shard name inside a cluster (enables 421 on non-owned users with -cluster-shards)")
+		clusterShards = fs.String("cluster-shards", "", "comma-separated shard names forming the consistent-hash ring")
+		vnodes        = fs.Int("vnodes", 0, "ring virtual nodes per shard (0 = default)")
+		replicaOf     = fs.String("replica-of", "", "primary base URL; serve as a read-only replica fed by snapshot shipping")
+		syncEvery     = fs.Duration("sync-every", 500*time.Millisecond, "replica snapshot-shipping poll interval")
+		syncWait      = fs.Duration("sync-wait", 30*time.Second, "replica budget for the initial sync against the primary")
+		firstGenFlag  = fs.Uint64("first-gen", 0, "snapshot generation to publish at startup (overrides a loaded model's)")
+
+		synthUsers = fs.Int("synth-users", 0, "serve a deterministic synthetic model with this many users (skips dataset and training)")
+		synthPOIs  = fs.Int("synth-pois", 1000, "synthetic model POI count")
+		synthTimes = fs.Int("synth-times", 12, "synthetic model time units (12=month, 53=week, 24=hour)")
+		synthRank  = fs.Int("synth-rank", 8, "synthetic model embedding rank")
 	)
 	fs.Parse(args)
 
-	ds, err := loadDataset(*preset, *data, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tcss serve:", err)
-		os.Exit(1)
-	}
-	g, err := parseGranularity(*gran)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tcss serve:", err)
-		os.Exit(1)
-	}
-	cfg := tcss.DefaultConfig()
-	cfg.Seed = *seed
-	if *epochs > 0 {
-		cfg.Epochs = *epochs
-	}
-	if *rank > 0 {
-		cfg.Rank = *rank
-	}
-
 	var (
 		rec      *tcss.Recommender
+		src      serve.Source
+		dist     *geo.DistanceMatrix
 		firstGen uint64
 	)
-	if *modelPath != "" {
-		var (
-			m    *tcss.Model
-			gen  uint64
-			from string
-		)
-		if *mmapModel {
-			// Zero-copy path: the factor slabs alias the mapping, so startup
-			// cost is O(1) in model size. The mapping stays open for the
-			// process lifetime (the kernel reclaims it on exit).
-			var closer io.Closer
-			m, gen, closer, err = tcss.LoadModelMmap(*modelPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "tcss serve:", err)
-				os.Exit(1)
-			}
-			defer closer.Close()
-			from = *modelPath + " (mmap)"
-		} else {
-			// Fallback-aware load: a crash mid-save leaves the newest snapshot
-			// torn; the rotation ladder still holds the previous intact one.
-			m, gen, from, err = tcss.LoadModelVersionedFallback(*modelPath, 16)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "tcss serve:", err)
-				os.Exit(1)
-			}
-		}
-		rec, err = tcss.AttachModel(m, ds, g, cfg, 0.8)
+	if *synthUsers > 0 {
+		// Synthetic serving mode: a deterministic seeded model at any shape,
+		// no dataset, no training. Used for production-scale cluster tests
+		// where every node (and the verifying load generator) rebuilds the
+		// identical model from the same arguments.
+		model, side, err := tcss.SynthServing(*synthUsers, *synthPOIs, *synthTimes, *synthRank, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tcss serve:", err)
 			os.Exit(1)
 		}
-		firstGen = gen
-		fmt.Printf("loaded model %s (generation %d)\n", from, gen)
+		src = &serve.StaticSource{Model: model, Side: side, Gran: tcss.SynthGranularity(*synthTimes)}
+		dist = side.Dist
+		fmt.Printf("synthetic model: users=%d pois=%d times=%d rank=%d seed=%d (%d factor bytes)\n",
+			model.I, model.J, model.K, model.Rank, *seed, model.FactorBytes())
 	} else {
-		// A killed serve process can restart with -resume pointing at the
-		// periodic mid-train snapshot and continue training where it left
-		// off instead of starting over.
-		cfg.CheckpointPath = *checkpoint
-		cfg.CheckpointEvery = *ckEvery
-		cfg.CheckpointKeep = *ckKeep
-		cfg.ResumePath = *resume
-		s := ds.Summary()
-		fmt.Printf("dataset %s: users=%d pois=%d check-ins=%d\n", ds.Name, s.Users, s.POIs, s.CheckIns)
-		fmt.Printf("training TCSS (rank=%d, epochs=%d)...\n", cfg.Rank, cfg.Epochs)
-		start := time.Now()
-		rec, err = tcss.Fit(ds, g, cfg)
+		ds, err := loadDataset(*preset, *data, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tcss serve:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("trained in %s\n", time.Since(start).Round(time.Millisecond))
-	}
+		g, err := parseGranularity(*gran)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcss serve:", err)
+			os.Exit(1)
+		}
+		cfg := tcss.DefaultConfig()
+		cfg.Seed = *seed
+		if *epochs > 0 {
+			cfg.Epochs = *epochs
+		}
+		if *rank > 0 {
+			cfg.Rank = *rank
+		}
+		if *modelPath != "" {
+			var (
+				m    *tcss.Model
+				gen  uint64
+				from string
+			)
+			if *mmapModel {
+				// Zero-copy path: the factor slabs alias the mapping, so startup
+				// cost is O(1) in model size. The mapping stays open for the
+				// process lifetime (the kernel reclaims it on exit).
+				var closer io.Closer
+				m, gen, closer, err = tcss.LoadModelMmap(*modelPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "tcss serve:", err)
+					os.Exit(1)
+				}
+				defer closer.Close()
+				from = *modelPath + " (mmap)"
+			} else {
+				// Fallback-aware load: a crash mid-save leaves the newest snapshot
+				// torn; the rotation ladder still holds the previous intact one.
+				m, gen, from, err = tcss.LoadModelVersionedFallback(*modelPath, 16)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "tcss serve:", err)
+					os.Exit(1)
+				}
+			}
+			rec, err = tcss.AttachModel(m, ds, g, cfg, 0.8)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tcss serve:", err)
+				os.Exit(1)
+			}
+			firstGen = gen
+			fmt.Printf("loaded model %s (generation %d)\n", from, gen)
+		} else {
+			// A killed serve process can restart with -resume pointing at the
+			// periodic mid-train snapshot and continue training where it left
+			// off instead of starting over.
+			cfg.CheckpointPath = *checkpoint
+			cfg.CheckpointEvery = *ckEvery
+			cfg.CheckpointKeep = *ckKeep
+			cfg.ResumePath = *resume
+			s := ds.Summary()
+			fmt.Printf("dataset %s: users=%d pois=%d check-ins=%d\n", ds.Name, s.Users, s.POIs, s.CheckIns)
+			fmt.Printf("training TCSS (rank=%d, epochs=%d)...\n", cfg.Rank, cfg.Epochs)
+			start := time.Now()
+			rec, err = tcss.Fit(ds, g, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tcss serve:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trained in %s\n", time.Since(start).Round(time.Millisecond))
+		}
 
-	if *storage != "" {
-		mode, err := tcss.ParseStorageMode(*storage)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tcss serve:", err)
-			os.Exit(1)
+		if *storage != "" {
+			mode, err := tcss.ParseStorageMode(*storage)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tcss serve:", err)
+				os.Exit(1)
+			}
+			m, err := rec.Model.ToStorage(mode)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tcss serve:", err)
+				os.Exit(1)
+			}
+			rec.Model = m
 		}
-		m, err := rec.Model.ToStorage(mode)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tcss serve:", err)
-			os.Exit(1)
+		fmt.Printf("model storage %s: %d factor bytes (%.1f per user)\n",
+			rec.Model.Mode, rec.Model.FactorBytes(), float64(rec.Model.FactorBytes())/float64(rec.Model.I))
+		if *replicaOf != "" {
+			// Replicas never observe: serve the fitted model read-only and
+			// let snapshot shipping advance it.
+			src = &serve.StaticSource{Model: rec.Model, Side: rec.Side, Gran: rec.Gran}
+		} else {
+			src = &serve.RecommenderSource{Rec: rec}
 		}
-		rec.Model = m
+		dist = rec.Side.Dist
 	}
-	fmt.Printf("model storage %s: %d factor bytes (%.1f per user)\n",
-		rec.Model.Mode, rec.Model.FactorBytes(), float64(rec.Model.FactorBytes())/float64(rec.Model.I))
+	if *firstGenFlag > 0 {
+		firstGen = *firstGenFlag
+	}
 
 	online := tcss.DefaultOnlineConfig()
 	if *onlineEp > 0 {
 		online.Epochs = *onlineEp
+	}
+	role := ""
+	switch {
+	case *replicaOf != "":
+		role = "replica"
+	case *shardName != "":
+		role = "primary"
 	}
 	opts := serve.Options{
 		TopNDefault:     *topN,
@@ -174,8 +225,22 @@ Flags:
 		Coalesce:        *coalesce,
 		CoalesceWindow:  *coalesceWin,
 		CoalesceBatch:   *coalesceBatch,
+		ShardName:       *shardName,
+		Role:            role,
 	}
-	srv, err := serve.New(rec, opts)
+	if *clusterShards != "" {
+		if *shardName == "" {
+			fmt.Fprintln(os.Stderr, "tcss serve: -cluster-shards requires -shard-name")
+			os.Exit(1)
+		}
+		ring, err := cluster.NewRing(strings.Split(*clusterShards, ","), *vnodes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcss serve:", err)
+			os.Exit(1)
+		}
+		opts.Owns = ring.Owns(*shardName)
+	}
+	srv, err := serve.NewFromSource(src, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcss serve:", err)
 		os.Exit(1)
@@ -187,6 +252,31 @@ Flags:
 	// save) — all within the -drain budget.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *replicaOf != "" {
+		// Replica: catch up to the primary's generation before listening,
+		// then keep polling in the background.
+		repl := &cluster.Replicator{
+			Server:   srv,
+			Primary:  strings.TrimRight(*replicaOf, "/"),
+			Dist:     dist,
+			Interval: *syncEvery,
+		}
+		deadline := time.Now().Add(*syncWait)
+		for {
+			gen, _, err := repl.SyncOnce(ctx)
+			if err == nil {
+				fmt.Printf("replica of %s: synced at generation %d\n", *replicaOf, gen)
+				break
+			}
+			if time.Now().After(deadline) {
+				fmt.Fprintf(os.Stderr, "tcss serve: initial sync against %s: %v\n", *replicaOf, err)
+				os.Exit(1)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+		go repl.Run(ctx)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)

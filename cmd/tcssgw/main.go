@@ -1,0 +1,334 @@
+// Command tcssgw fronts a sharded tcss serving cluster: it routes
+// /v1/recommend and /v1/explain to the shard owning the user (with replica
+// failover), splits /v1/observe batches by ownership, and merges /metrics
+// and /healthz across every endpoint.
+//
+// Two ways to describe the cluster:
+//
+//	tcssgw -shards 'shard-0=http://h0:8080,http://h0r:8081;shard-1=http://h1:8080'
+//
+// fronts an already-running cluster, while
+//
+//	tcssgw -spawn 4 -replicas 2 -synth-users 1000000
+//
+// launches a local 4-shard × 2-replica cluster of `tcss serve` children on
+// sequential ports (synthetic deterministic model, primaries at generation 1,
+// replicas catching up over snapshot shipping) and then fronts it. Spawn mode
+// is what `make cluster-smoke` uses; pid files in -pid-dir let the smoke
+// harness kill -9 a primary mid-load.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"tcss/internal/cluster"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":8090", "gateway listen address")
+		shards = flag.String("shards", "", "cluster topology: name=primaryURL[,replicaURL...] joined by ';'")
+		vnodes = flag.Int("vnodes", 0, "ring virtual nodes per shard (0 = default; must match the shards')")
+
+		spawn      = flag.Int("spawn", 0, "spawn a local cluster with this many shards instead of using -shards")
+		replicas   = flag.Int("replicas", 1, "replicas per spawned shard")
+		portBase   = flag.Int("port-base", 9100, "first port for spawned nodes (sequential from here)")
+		tcssBin    = flag.String("tcss", "tcss", "path to the tcss binary for spawned nodes")
+		pidDir     = flag.String("pid-dir", "", "write <node>.pid files for spawned nodes here")
+		spawnWait  = flag.Duration("spawn-wait", 60*time.Second, "budget for every spawned node to answer /healthz")
+		seed       = flag.Int64("seed", 7, "synthetic model seed for spawned nodes")
+		synthUsers = flag.Int("synth-users", 100_000, "synthetic model user count for spawned nodes")
+		synthPOIs  = flag.Int("synth-pois", 1000, "synthetic model POI count for spawned nodes")
+		synthTimes = flag.Int("synth-times", 12, "synthetic model time units for spawned nodes")
+		synthRank  = flag.Int("synth-rank", 8, "synthetic model embedding rank for spawned nodes")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var (
+		sets []cluster.ShardSet
+		kids *children
+		err  error
+	)
+	switch {
+	case *spawn > 0 && *shards != "":
+		fmt.Fprintln(os.Stderr, "tcssgw: use either -spawn or -shards, not both")
+		os.Exit(1)
+	case *spawn > 0:
+		sets, kids, err = spawnCluster(ctx, spawnConfig{
+			shards: *spawn, replicas: *replicas, portBase: *portBase,
+			tcssBin: *tcssBin, pidDir: *pidDir, wait: *spawnWait, vnodes: *vnodes,
+			seed: *seed, users: *synthUsers, pois: *synthPOIs, times: *synthTimes, rank: *synthRank,
+		})
+		if kids != nil {
+			defer kids.killAll()
+		}
+	case *shards != "":
+		sets, err = parseTopology(*shards)
+	default:
+		fmt.Fprintln(os.Stderr, "tcssgw: one of -shards or -spawn is required")
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcssgw:", err)
+		os.Exit(1)
+	}
+
+	gw, err := cluster.NewGateway(sets, cluster.GatewayOptions{Vnodes: *vnodes})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcssgw:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Addr: *listen, Handler: gw.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	fmt.Printf("gateway on %s fronting %d shards (/v1/recommend /v1/explain /v1/observe /metrics /healthz)\n",
+		*listen, len(sets))
+	for _, set := range sets {
+		fmt.Printf("  %s: primary %s, %d replicas\n", set.Name, set.Primary, len(set.Replicas))
+	}
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "tcssgw:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("shutting down...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "tcssgw: http drain:", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "tcssgw:", err)
+		os.Exit(1)
+	}
+}
+
+// parseTopology parses "name=primaryURL[,replicaURL...];name=..." into shard
+// sets. Whitespace around separators is tolerated.
+func parseTopology(spec string) ([]cluster.ShardSet, error) {
+	var sets []cluster.ShardSet
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, urls, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("shard entry %q: want name=primaryURL[,replicaURL...]", entry)
+		}
+		set := cluster.ShardSet{Name: strings.TrimSpace(name)}
+		for i, u := range strings.Split(urls, ",") {
+			u = strings.TrimRight(strings.TrimSpace(u), "/")
+			if u == "" {
+				return nil, fmt.Errorf("shard %q: empty endpoint URL", set.Name)
+			}
+			if i == 0 {
+				set.Primary = u
+			} else {
+				set.Replicas = append(set.Replicas, u)
+			}
+		}
+		sets = append(sets, set)
+	}
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("no shards in topology %q", spec)
+	}
+	return sets, nil
+}
+
+type spawnConfig struct {
+	shards, replicas, portBase int
+	tcssBin, pidDir            string
+	wait                       time.Duration
+	vnodes                     int
+	seed                       int64
+	users, pois, times, rank   int
+}
+
+// children tracks spawned tcss serve processes for shutdown. Children that
+// die on their own (including the smoke harness's injected kill -9) are
+// reaped and logged but never bring the gateway down — that is the point of
+// replica failover.
+type children struct {
+	procs []*exec.Cmd
+}
+
+func (c *children) killAll() {
+	for _, cmd := range c.procs {
+		if cmd.Process != nil {
+			cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	done := make(chan struct{})
+	go func() {
+		for _, cmd := range c.procs {
+			cmd.Wait()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-deadline:
+		for _, cmd := range c.procs {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+			}
+		}
+	}
+}
+
+// spawnCluster launches shards×(1+replicas) `tcss serve` children on
+// sequential loopback ports. Primaries come up first at generation 1;
+// replicas then bootstrap at generation 0 and catch up through a real
+// snapshot shipment before answering /healthz, so the replication path is
+// exercised even before any load arrives.
+func spawnCluster(ctx context.Context, sc spawnConfig) ([]cluster.ShardSet, *children, error) {
+	kids := &children{}
+	names := make([]string, sc.shards)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard-%d", i)
+	}
+	allShards := strings.Join(names, ",")
+
+	start := func(name string, port int, extra ...string) error {
+		args := []string{"serve",
+			"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+			"-shard-name", names[shardIndexOf(name)],
+			"-cluster-shards", allShards,
+			"-vnodes", strconv.Itoa(sc.vnodes),
+			"-seed", strconv.FormatInt(sc.seed, 10),
+			"-synth-users", strconv.Itoa(sc.users),
+			"-synth-pois", strconv.Itoa(sc.pois),
+			"-synth-times", strconv.Itoa(sc.times),
+			"-synth-rank", strconv.Itoa(sc.rank),
+		}
+		args = append(args, extra...)
+		cmd := exec.Command(sc.tcssBin, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("starting %s: %w", name, err)
+		}
+		kids.procs = append(kids.procs, cmd)
+		go func() {
+			if err := cmd.Wait(); err != nil && ctx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "tcssgw: node %s exited: %v\n", name, err)
+			}
+		}()
+		if sc.pidDir != "" {
+			pidFile := filepath.Join(sc.pidDir, name+".pid")
+			if err := os.WriteFile(pidFile, []byte(strconv.Itoa(cmd.Process.Pid)+"\n"), 0o644); err != nil {
+				return fmt.Errorf("writing %s: %w", pidFile, err)
+			}
+		}
+		return nil
+	}
+
+	if sc.pidDir != "" {
+		if err := os.MkdirAll(sc.pidDir, 0o755); err != nil {
+			return nil, kids, err
+		}
+	}
+
+	// Primaries first: replicas need them answering /v1/snapshot/bin.
+	sets := make([]cluster.ShardSet, sc.shards)
+	perShard := 1 + sc.replicas
+	for i, name := range names {
+		port := sc.portBase + i*perShard
+		sets[i] = cluster.ShardSet{Name: name, Primary: fmt.Sprintf("http://127.0.0.1:%d", port)}
+		if err := start(name, port, "-first-gen", "1"); err != nil {
+			return nil, kids, err
+		}
+	}
+	for i := range names {
+		if err := waitHealthy(ctx, sets[i].Primary, sc.wait); err != nil {
+			return nil, kids, fmt.Errorf("primary %s: %w", names[i], err)
+		}
+	}
+	fmt.Printf("spawned %d primaries at generation 1\n", sc.shards)
+
+	for i, name := range names {
+		for r := 1; r <= sc.replicas; r++ {
+			port := sc.portBase + i*perShard + r
+			url := fmt.Sprintf("http://127.0.0.1:%d", port)
+			sets[i].Replicas = append(sets[i].Replicas, url)
+			err := start(fmt.Sprintf("%s-replica-%d", name, r), port,
+				"-replica-of", sets[i].Primary, "-sync-wait", sc.wait.String())
+			if err != nil {
+				return nil, kids, err
+			}
+		}
+	}
+	for i := range names {
+		for _, url := range sets[i].Replicas {
+			if err := waitHealthy(ctx, url, sc.wait); err != nil {
+				return nil, kids, fmt.Errorf("replica of %s at %s: %w", names[i], url, err)
+			}
+		}
+	}
+	if sc.replicas > 0 {
+		fmt.Printf("spawned %d replicas, all synced over snapshot shipping\n", sc.shards*sc.replicas)
+	}
+	return sets, kids, nil
+}
+
+// shardIndexOf extracts the shard index from a spawned node name
+// ("shard-2" or "shard-2-replica-1" -> 2).
+func shardIndexOf(name string) int {
+	rest := strings.TrimPrefix(name, "shard-")
+	if i := strings.IndexByte(rest, '-'); i >= 0 {
+		rest = rest[:i]
+	}
+	n, _ := strconv.Atoi(rest)
+	return n
+}
+
+// waitHealthy polls a node's /healthz until it answers 200 or the budget
+// runs out. Replicas only start listening after their initial sync, so a
+// healthy replica is already on the primary's generation.
+func waitHealthy(ctx context.Context, base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				return fmt.Errorf("not healthy after %s", budget)
+			}
+			return fmt.Errorf("not healthy after %s: %w", budget, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,461 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"tcss/internal/cluster/clustertest"
+	"tcss/internal/fault"
+)
+
+// get fetches url and returns (status, body, response).
+func get(t *testing.T, url string) (int, []byte, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp
+}
+
+// ownedUsers maps each shard name to one user it owns, scanning the model's
+// user range.
+func ownedUsers(c *clustertest.Cluster) map[string]int {
+	owned := make(map[string]int)
+	for u := 0; u < c.Config.Users; u++ {
+		name := c.Ring.Owner(u)
+		if _, ok := owned[name]; !ok {
+			owned[name] = u
+		}
+	}
+	return owned
+}
+
+// TestGatewayRoutesBitIdentical drives reads through the gateway and checks
+// each lands on the owning shard with a body byte-identical to a standalone
+// single-node server over the same model — sharding must not change answers.
+func TestGatewayRoutesBitIdentical(t *testing.T) {
+	c := clustertest.New(t, clustertest.Config{Shards: 3, Replicas: 1})
+	_, refURL := c.Reference(t)
+
+	for u := 0; u < c.Config.Users; u += 7 {
+		q := fmt.Sprintf("/v1/recommend?user=%d&t=2&n=5", u)
+		gs, gb, resp := get(t, c.GatewayURL+q)
+		rs, rb, _ := get(t, refURL+q)
+		if gs != http.StatusOK || rs != http.StatusOK {
+			t.Fatalf("user %d: gateway %d, reference %d", u, gs, rs)
+		}
+		if want := c.Ring.Owner(u); resp.Header.Get("X-Shard") != want {
+			t.Fatalf("user %d routed to %q, ring owner is %q", u, resp.Header.Get("X-Shard"), want)
+		}
+		if !bytes.Equal(gb, rb) {
+			t.Fatalf("user %d: gateway body %s != reference body %s", u, gb, rb)
+		}
+	}
+}
+
+// TestFailoverBitIdentical kills a shard primary and checks the gateway
+// transparently serves the same bytes from the replica.
+func TestFailoverBitIdentical(t *testing.T) {
+	c := clustertest.New(t, clustertest.Config{Shards: 3, Replicas: 1})
+	owned := ownedUsers(c)
+	sh := c.Shards[0]
+	user, ok := owned[sh.Name]
+	if !ok {
+		t.Skipf("shard %s owns no user below %d", sh.Name, c.Config.Users)
+	}
+	q := fmt.Sprintf("/v1/recommend?user=%d&t=3&n=5", user)
+
+	_, before, _ := get(t, c.GatewayURL+q)
+	sh.Primary.Kill()
+	status, after, resp := get(t, c.GatewayURL+q)
+	if status != http.StatusOK {
+		t.Fatalf("read after primary kill: status %d", status)
+	}
+	if got := resp.Header.Get("X-Backend"); got != sh.Replicas[0].URL {
+		t.Fatalf("served by %q after kill, want replica %q", got, sh.Replicas[0].URL)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("failover changed the answer:\n primary: %s\n replica: %s", before, after)
+	}
+
+	// Revived primary serves again once its cooldown lapses; in-cooldown it
+	// is merely deprioritized, so the replica keeps answering correctly.
+	sh.Primary.Revive()
+	status, again, _ := get(t, c.GatewayURL+q)
+	if status != http.StatusOK || !bytes.Equal(before, again) {
+		t.Fatalf("after revive: status %d, body %s", status, again)
+	}
+}
+
+// TestReplicationShipsGenerations observes through the gateway, syncs, and
+// checks the replica lands on the primary's exact generation with
+// bit-identical scores.
+func TestReplicationShipsGenerations(t *testing.T) {
+	c := clustertest.New(t, clustertest.Config{Shards: 2, Replicas: 1})
+	owned := ownedUsers(c)
+	sh := c.Shards[0]
+	user, ok := owned[sh.Name]
+	if !ok {
+		t.Skipf("shard %s owns no user below %d", sh.Name, c.Config.Users)
+	}
+
+	body := fmt.Sprintf(`{"checkins":[{"user":%d,"poi":1,"month":2},{"user":%d,"poi":3,"month":5}]}`, user, user)
+	resp, err := http.Post(c.GatewayURL+"/v1/observe", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obs struct {
+		Added  int `json:"added"`
+		Shards []struct {
+			Shard      string `json:"shard"`
+			Generation uint64 `json:"generation"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&obs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(obs.Shards) != 1 || obs.Shards[0].Shard != sh.Name {
+		t.Fatalf("observe fanout: status %d, %+v", resp.StatusCode, obs)
+	}
+
+	primaryGen := sh.Primary.Server.Generation()
+	if primaryGen == 0 {
+		t.Fatal("observe did not advance the primary generation")
+	}
+	rep := sh.Replicas[0]
+	if rep.Server.Generation() == primaryGen {
+		t.Fatal("replica already at primary generation before sync")
+	}
+	c.MustSync()
+	if got := rep.Server.Generation(); got != primaryGen {
+		t.Fatalf("replica at generation %d after sync, primary at %d", got, primaryGen)
+	}
+
+	// Same generation, same bytes: the replica's direct answer must equal the
+	// primary's, post-observe model included.
+	q := fmt.Sprintf("/v1/recommend?user=%d&t=2&n=5", user)
+	_, pb, _ := get(t, sh.Primary.URL+q)
+	_, rb, _ := get(t, rep.URL+q)
+	if !bytes.Equal(pb, rb) {
+		t.Fatalf("replica diverges from primary at generation %d:\n primary: %s\n replica: %s", primaryGen, pb, rb)
+	}
+}
+
+// TestCorruptShipmentRejected arms a byte flip in a shipment and checks the
+// CRC frame rejects it, the replica keeps its last good generation, and the
+// next clean sync recovers.
+func TestCorruptShipmentRejected(t *testing.T) {
+	c := clustertest.New(t, clustertest.Config{Shards: 2, Replicas: 1})
+	owned := ownedUsers(c)
+	sh := c.Shards[0]
+	user, ok := owned[sh.Name]
+	if !ok {
+		t.Skipf("shard %s owns no user below %d", sh.Name, c.Config.Users)
+	}
+
+	body := fmt.Sprintf(`{"checkins":[{"user":%d,"poi":2,"month":4}]}`, user)
+	resp, err := http.Post(sh.Primary.URL+"/v1/observe", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe: status %d", resp.StatusCode)
+	}
+
+	rep := sh.Replicas[0]
+	before := rep.Server.Generation()
+	sh.Primary.CorruptNextShipment()
+	errs := c.Sync()
+	if err := errs[rep.Name]; !errors.Is(err, fault.ErrChecksum) {
+		t.Fatalf("corrupt shipment: want ErrChecksum, got %v", err)
+	}
+	if got := rep.Server.Generation(); got != before {
+		t.Fatalf("replica moved to generation %d on a corrupt shipment", got)
+	}
+
+	var met struct {
+		Replication struct {
+			Failures         int64 `json:"failures"`
+			ChecksumRejected int64 `json:"checksum_rejected"`
+		} `json:"replication"`
+	}
+	_, mb, _ := get(t, rep.URL+"/metrics")
+	if err := json.Unmarshal(mb, &met); err != nil {
+		t.Fatal(err)
+	}
+	if met.Replication.ChecksumRejected != 1 || met.Replication.Failures != 1 {
+		t.Fatalf("replica replication counters: %+v", met.Replication)
+	}
+
+	// The corruption was one-shot: the next sync ships clean and catches up.
+	c.MustSync()
+	if got, want := rep.Server.Generation(), sh.Primary.Server.Generation(); got != want {
+		t.Fatalf("replica at %d after clean sync, primary at %d", got, want)
+	}
+}
+
+// TestGatewayMetricsMerge checks the merged /metrics document: counter sums
+// across endpoints, cluster percentiles from concatenated latency windows,
+// and the per-endpoint breakdown.
+func TestGatewayMetricsMerge(t *testing.T) {
+	c := clustertest.New(t, clustertest.Config{Shards: 2, Replicas: 1})
+
+	const reads = 6
+	for i := 0; i < reads; i++ {
+		status, _, _ := get(t, fmt.Sprintf("%s/v1/recommend?user=%d&t=1&n=3", c.GatewayURL, i))
+		if status != http.StatusOK {
+			t.Fatalf("read %d: status %d", i, status)
+		}
+	}
+	// One misroute hit directly on a shard (bypassing the gateway): pick a
+	// user the first shard does not own.
+	foreign := -1
+	for u := 0; u < c.Config.Users; u++ {
+		if c.Ring.Owner(u) != c.Shards[0].Name {
+			foreign = u
+			break
+		}
+	}
+	if status, _, _ := get(t, fmt.Sprintf("%s/v1/recommend?user=%d&t=1&n=3", c.Shards[0].Primary.URL, foreign)); status != http.StatusMisdirectedRequest {
+		t.Fatalf("direct foreign read: status %d, want 421", status)
+	}
+
+	var met struct {
+		Shards    int `json:"shards"`
+		Endpoints int `json:"endpoints"`
+		Recommend struct {
+			Count int64   `json:"count"`
+			P50ms float64 `json:"p50_ms"`
+			P99ms float64 `json:"p99_ms"`
+		} `json:"recommend"`
+		Totals struct {
+			Misrouted int64 `json:"misrouted"`
+		} `json:"totals"`
+		Gateway struct {
+			Requests  int64 `json:"requests"`
+			Failovers int64 `json:"failovers"`
+		} `json:"gateway"`
+		PerEndpoint []struct {
+			Shard     string `json:"shard"`
+			Role      string `json:"role"`
+			Recommend int64  `json:"recommend"`
+		} `json:"per_endpoint"`
+	}
+	status, mb, _ := get(t, c.GatewayURL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("merged metrics: status %d", status)
+	}
+	if err := json.Unmarshal(mb, &met); err != nil {
+		t.Fatal(err)
+	}
+	if met.Shards != 2 || met.Endpoints != 4 {
+		t.Fatalf("topology: %d shards, %d endpoints", met.Shards, met.Endpoints)
+	}
+	// reads via gateway + 1 direct foreign attempt: the request counter sees
+	// every arrival including the 421, which never reaches the latency ring.
+	if met.Recommend.Count != reads+1 {
+		t.Fatalf("merged recommend count %d, want %d", met.Recommend.Count, reads+1)
+	}
+	if met.Recommend.P50ms <= 0 || met.Recommend.P99ms < met.Recommend.P50ms {
+		t.Fatalf("merged percentiles p50=%v p99=%v", met.Recommend.P50ms, met.Recommend.P99ms)
+	}
+	if met.Totals.Misrouted != 1 {
+		t.Fatalf("merged misrouted %d, want 1", met.Totals.Misrouted)
+	}
+	if met.Gateway.Requests != reads {
+		t.Fatalf("gateway request counter %d, want %d", met.Gateway.Requests, reads)
+	}
+	var perShardSum int64
+	for _, ep := range met.PerEndpoint {
+		if ep.Role == "replica" && ep.Recommend != 0 {
+			t.Fatalf("replica %q served %d reads without a failover", ep.Shard, ep.Recommend)
+		}
+		perShardSum += ep.Recommend
+	}
+	if perShardSum != reads+1 {
+		t.Fatalf("per-endpoint breakdown sums to %d, want %d", perShardSum, reads+1)
+	}
+}
+
+// TestGatewayHealthRollup walks the cluster health state machine: all-ok,
+// degraded (primary write path tripped / primary dead with live replica),
+// and down (whole shard unreachable).
+func TestGatewayHealthRollup(t *testing.T) {
+	c := clustertest.New(t, clustertest.Config{Shards: 2, Replicas: 1})
+
+	var health struct {
+		Status  string   `json:"status"`
+		Reasons []string `json:"reasons"`
+		Shards  []struct {
+			Shard  string `json:"shard"`
+			Status string `json:"status"`
+		} `json:"shards"`
+	}
+	check := func(wantStatus string, wantHTTP int) {
+		t.Helper()
+		status, hb, _ := get(t, c.GatewayURL+"/healthz")
+		if err := json.Unmarshal(hb, &health); err != nil {
+			t.Fatal(err)
+		}
+		if status != wantHTTP || health.Status != wantStatus {
+			t.Fatalf("rollup %q (%d), want %q (%d): %s", health.Status, status, wantStatus, wantHTTP, hb)
+		}
+	}
+
+	check("ok", http.StatusOK)
+
+	// Dead replica, live primary: still ok — the partition is fully served.
+	c.Shards[1].Replicas[0].Kill()
+	check("ok", http.StatusOK)
+	c.Shards[1].Replicas[0].Revive()
+
+	// Dead primary, live replica: degraded, naming the shard.
+	c.Shards[0].Primary.Kill()
+	check("degraded", http.StatusOK)
+	if len(health.Reasons) != 1 || !strings.Contains(health.Reasons[0], c.Shards[0].Name) {
+		t.Fatalf("degraded reasons %v do not name shard %q", health.Reasons, c.Shards[0].Name)
+	}
+
+	// Whole shard dead: down, 503 — part of the keyspace is unservable.
+	c.Shards[0].Replicas[0].Kill()
+	check("down", http.StatusServiceUnavailable)
+
+	c.Shards[0].Primary.Revive()
+	c.Shards[0].Replicas[0].Revive()
+	check("ok", http.StatusOK)
+}
+
+// TestGatewayHealthDegradedBreaker trips a primary's write-path circuit
+// breaker via fault injection and checks the shard's degraded state (reads
+// fine, writes rejected) surfaces in the cluster rollup with its reason.
+func TestGatewayHealthDegradedBreaker(t *testing.T) {
+	c := clustertest.New(t, clustertest.Config{Shards: 2, Replicas: 0})
+	owned := ownedUsers(c)
+	sh := c.Shards[0]
+	user, ok := owned[sh.Name]
+	if !ok {
+		t.Skipf("shard %s owns no user below %d", sh.Name, c.Config.Users)
+	}
+
+	// Default breaker threshold is 3 consecutive write failures.
+	sh.Primary.Faults.FailNext(3, errors.New("injected disk failure"))
+	body := fmt.Sprintf(`{"checkins":[{"user":%d,"poi":1,"month":1}]}`, user)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(sh.Primary.URL+"/v1/observe", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError && resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("injected write %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	status, hb, _ := get(t, c.GatewayURL+"/healthz")
+	var health struct {
+		Status  string   `json:"status"`
+		Reasons []string `json:"reasons"`
+	}
+	if err := json.Unmarshal(hb, &health); err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || health.Status != "degraded" {
+		t.Fatalf("rollup with tripped breaker: %q (%d), body %s", health.Status, status, hb)
+	}
+	if len(health.Reasons) == 0 || !strings.Contains(health.Reasons[0], sh.Name) {
+		t.Fatalf("reasons %v do not name shard %q", health.Reasons, sh.Name)
+	}
+}
+
+// TestGatewayObserveFanout sends one batch touching every shard and checks
+// the gateway splits it by ownership and merges per-shard results.
+func TestGatewayObserveFanout(t *testing.T) {
+	c := clustertest.New(t, clustertest.Config{Shards: 3, Replicas: 0})
+	owned := ownedUsers(c)
+	if len(owned) < 2 {
+		t.Skipf("only %d shards own users below %d", len(owned), c.Config.Users)
+	}
+
+	var checkins []string
+	for _, u := range owned {
+		checkins = append(checkins, fmt.Sprintf(`{"user":%d,"poi":1,"month":3}`, u))
+	}
+	body := `{"checkins":[` + strings.Join(checkins, ",") + `]}`
+	resp, err := http.Post(c.GatewayURL+"/v1/observe", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Added  int `json:"added"`
+		Shards []struct {
+			Shard      string `json:"shard"`
+			CheckIns   int    `json:"checkins"`
+			Added      int    `json:"added"`
+			Generation uint64 `json:"generation"`
+			Error      string `json:"error"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fanout observe: status %d", resp.StatusCode)
+	}
+	if len(out.Shards) != len(owned) {
+		t.Fatalf("fanout touched %d shards, want %d", len(out.Shards), len(owned))
+	}
+	sum := 0
+	for _, res := range out.Shards {
+		if res.Error != "" {
+			t.Fatalf("shard %s: %s", res.Shard, res.Error)
+		}
+		if res.Generation == 0 {
+			t.Fatalf("shard %s did not advance its generation", res.Shard)
+		}
+		sum += res.Added
+	}
+	if sum != out.Added {
+		t.Fatalf("merged added %d, per-shard sum %d", out.Added, sum)
+	}
+	// Each primary advanced exactly once; shards owning none of the batch
+	// users stayed at generation 0.
+	for _, sh := range c.Shards {
+		want := uint64(0)
+		if _, ok := owned[sh.Name]; ok {
+			want = 1
+		}
+		if got := sh.Primary.Server.Generation(); got != want {
+			t.Fatalf("shard %s at generation %d, want %d", sh.Name, got, want)
+		}
+	}
+}
+
+// TestGatewayRejectsBadReads covers the gateway's own 400 path and its
+// pass-through of shard client errors.
+func TestGatewayRejectsBadReads(t *testing.T) {
+	c := clustertest.New(t, clustertest.Config{Shards: 2, Replicas: 0})
+	if status, _, _ := get(t, c.GatewayURL+"/v1/recommend?user=bogus&t=1"); status != http.StatusBadRequest {
+		t.Fatalf("bogus user: status %d, want 400", status)
+	}
+	// Out-of-range user: shard answers 400, gateway passes it through.
+	if status, _, _ := get(t, fmt.Sprintf("%s/v1/recommend?user=%d&t=1", c.GatewayURL, 1<<20)); status != http.StatusBadRequest {
+		t.Fatalf("out-of-range user: status %d, want 400", status)
+	}
+}

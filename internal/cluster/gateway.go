@@ -1,0 +1,356 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardSet names one shard and its endpoints: the writable primary plus zero
+// or more read-only replicas fed by snapshot shipping, all as base URLs.
+type ShardSet struct {
+	Name     string
+	Primary  string
+	Replicas []string
+}
+
+// GatewayOptions tunes the gateway; the zero value is production-ready.
+type GatewayOptions struct {
+	// Vnodes is the ring's virtual-node count per shard (DefaultVnodes if 0).
+	Vnodes int
+	// Client issues all backend requests; http.DefaultClient when nil.
+	Client *http.Client
+	// DownCooldown is how long a failed endpoint is skipped before being
+	// retried (2s when zero). Failover still works inside the cooldown — the
+	// mark only changes which endpoint is tried first.
+	DownCooldown time.Duration
+	// Now is the clock (tests inject a fake one).
+	Now func() time.Time
+}
+
+// gatewayMetrics counts what the gateway itself does, reported in the
+// cluster /metrics document alongside the merged shard counters.
+type gatewayMetrics struct {
+	requests       atomic.Int64 // read requests routed
+	failovers      atomic.Int64 // reads answered by a non-first candidate
+	backendErrors  atomic.Int64 // candidate attempts that failed
+	observeFanouts atomic.Int64 // observe batches split across shards
+	scrapes        atomic.Int64 // merged /metrics scrapes served
+}
+
+// Gateway routes the serving API across a sharded cluster: reads go to the
+// user's owning shard (replica failover on primary failure), observes are
+// split by ownership and fanned to primaries, /metrics and /healthz fan out
+// to every endpoint and merge. It holds no model state — only the ring and
+// the endpoint table — so any number of gateways can front the same cluster.
+type Gateway struct {
+	ring     *Ring
+	sets     []ShardSet
+	byName   map[string]*ShardSet
+	client   *http.Client
+	cooldown time.Duration
+	now      func() time.Time
+	mux      *http.ServeMux
+	met      gatewayMetrics
+
+	mu   sync.Mutex
+	down map[string]time.Time // endpoint base URL -> retry-after instant
+}
+
+// NewGateway builds a gateway over the given shard sets. Ring placement uses
+// only shard names, so every gateway and shard configured with the same names
+// agrees on ownership regardless of listing order.
+func NewGateway(sets []ShardSet, opts GatewayOptions) (*Gateway, error) {
+	names := make([]string, len(sets))
+	for i, set := range sets {
+		if set.Primary == "" {
+			return nil, fmt.Errorf("cluster: shard %q has no primary endpoint", set.Name)
+		}
+		names[i] = set.Name
+	}
+	ring, err := NewRing(names, opts.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		ring:     ring,
+		sets:     append([]ShardSet(nil), sets...),
+		byName:   make(map[string]*ShardSet, len(sets)),
+		client:   opts.Client,
+		cooldown: opts.DownCooldown,
+		now:      opts.Now,
+		down:     make(map[string]time.Time),
+	}
+	for i := range g.sets {
+		g.byName[g.sets[i].Name] = &g.sets[i]
+	}
+	if g.client == nil {
+		g.client = http.DefaultClient
+	}
+	if g.cooldown <= 0 {
+		g.cooldown = 2 * time.Second
+	}
+	if g.now == nil {
+		g.now = time.Now
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/recommend", g.serveRead)
+	mux.HandleFunc("GET /v1/explain", g.serveRead)
+	mux.HandleFunc("POST /v1/observe", g.serveObserve)
+	mux.HandleFunc("GET /metrics", g.serveMetrics)
+	mux.HandleFunc("GET /healthz", g.serveHealthz)
+	g.mux = mux
+	return g, nil
+}
+
+// Ring exposes the gateway's ring (tests assert routing against it).
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+type gwError struct {
+	Error string `json:"error"`
+}
+
+func (g *Gateway) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(gwError{Error: fmt.Sprintf(format, args...)})
+}
+
+// markDown records an endpoint failure; the endpoint is deprioritized until
+// the cooldown elapses.
+func (g *Gateway) markDown(endpoint string) {
+	g.mu.Lock()
+	g.down[endpoint] = g.now().Add(g.cooldown)
+	g.mu.Unlock()
+}
+
+// isDown reports whether an endpoint is inside its failure cooldown.
+func (g *Gateway) isDown(endpoint string) bool {
+	g.mu.Lock()
+	until, ok := g.down[endpoint]
+	g.mu.Unlock()
+	return ok && g.now().Before(until)
+}
+
+// candidates orders a shard's endpoints for a read: primary first, then
+// replicas, with endpoints inside their failure cooldown moved to the back —
+// never dropped, so a fully-marked shard still gets tried rather than
+// blacking out on stale marks.
+func (g *Gateway) candidates(set *ShardSet) []string {
+	all := make([]string, 0, 1+len(set.Replicas))
+	all = append(all, set.Primary)
+	all = append(all, set.Replicas...)
+	up := all[:0:len(all)]
+	var cooling []string
+	for _, ep := range all {
+		if g.isDown(ep) {
+			cooling = append(cooling, ep)
+		} else {
+			up = append(up, ep)
+		}
+	}
+	return append(up, cooling...)
+}
+
+// retriable reports whether a backend status should trigger failover to the
+// next candidate: transport-level failures are always retriable, and these
+// statuses mean the node (not the request) has a problem. Client errors such
+// as 400/404/421 pass through — another endpoint would answer the same.
+func retriable(status int) bool {
+	switch status {
+	case http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// serveRead routes /v1/recommend and /v1/explain to the shard owning the
+// user, trying the primary first and failing over through replicas on
+// transport errors and 5xx. The winning response passes through byte-exact,
+// tagged with X-Shard and X-Backend.
+func (g *Gateway) serveRead(w http.ResponseWriter, r *http.Request) {
+	g.met.requests.Add(1)
+	user, err := strconv.Atoi(r.URL.Query().Get("user"))
+	if err != nil {
+		g.writeError(w, http.StatusBadRequest, "parameter %q: %v", "user", err)
+		return
+	}
+	shard := g.ring.Owner(user)
+	set := g.byName[shard]
+	uri := r.URL.Path
+	if r.URL.RawQuery != "" {
+		uri += "?" + r.URL.RawQuery
+	}
+
+	var lastErr error
+	for i, ep := range g.candidates(set) {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, ep+uri, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := g.client.Do(req)
+		if err != nil {
+			g.met.backendErrors.Add(1)
+			g.markDown(ep)
+			lastErr = err
+			continue
+		}
+		if retriable(resp.StatusCode) {
+			g.met.backendErrors.Add(1)
+			g.markDown(ep)
+			lastErr = fmt.Errorf("endpoint %s answered %s", ep, resp.Status)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		if i > 0 {
+			g.met.failovers.Add(1)
+		}
+		for _, h := range []string{"Content-Type", "X-Cache", "Retry-After"} {
+			if v := resp.Header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		w.Header().Set("X-Shard", shard)
+		w.Header().Set("X-Backend", ep)
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	g.writeError(w, http.StatusBadGateway, "shard %q: no endpoint answered: %v", shard, lastErr)
+}
+
+// gwCheckIn mirrors the serve observe schema so subsets re-marshal exactly.
+type gwCheckIn struct {
+	User  int `json:"user"`
+	POI   int `json:"poi"`
+	Month int `json:"month"`
+	Week  int `json:"week"`
+	Hour  int `json:"hour"`
+}
+
+type gwObserveRequest struct {
+	CheckIns []gwCheckIn `json:"checkins"`
+}
+
+// shardObserveResult is one shard's slice of a fanned-out observe.
+type shardObserveResult struct {
+	Shard      string `json:"shard"`
+	CheckIns   int    `json:"checkins"`
+	Added      int    `json:"added"`
+	Generation uint64 `json:"generation"`
+	Error      string `json:"error,omitempty"`
+}
+
+type gwObserveResponse struct {
+	Added  int                  `json:"added"`
+	Shards []shardObserveResult `json:"shards"`
+}
+
+// serveObserve splits an observe batch by user ownership and posts each
+// subset to the owning shard's primary (writes never go to replicas). The
+// merged response reports per-shard cell counts and generations; any shard
+// failure turns the overall status into 502 while still reporting the shards
+// that succeeded.
+func (g *Gateway) serveObserve(w http.ResponseWriter, r *http.Request) {
+	var req gwObserveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		g.writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(req.CheckIns) == 0 {
+		g.writeError(w, http.StatusBadRequest, "no checkins in request")
+		return
+	}
+	g.met.observeFanouts.Add(1)
+	split := make(map[string][]gwCheckIn)
+	for _, c := range req.CheckIns {
+		shard := g.ring.Owner(c.User)
+		split[shard] = append(split[shard], c)
+	}
+	shards := make([]string, 0, len(split))
+	for shard := range split {
+		shards = append(shards, shard)
+	}
+	sort.Strings(shards)
+
+	out := gwObserveResponse{Shards: make([]shardObserveResult, len(shards))}
+	var wg sync.WaitGroup
+	for i, shard := range shards {
+		wg.Add(1)
+		go func(i int, shard string) {
+			defer wg.Done()
+			out.Shards[i] = g.postObserve(r.Context(), shard, split[shard])
+		}(i, shard)
+	}
+	wg.Wait()
+
+	status := http.StatusOK
+	for _, res := range out.Shards {
+		out.Added += res.Added
+		if res.Error != "" {
+			status = http.StatusBadGateway
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(&out)
+}
+
+func (g *Gateway) postObserve(ctx context.Context, shard string, checkIns []gwCheckIn) shardObserveResult {
+	res := shardObserveResult{Shard: shard, CheckIns: len(checkIns)}
+	body, err := json.Marshal(gwObserveRequest{CheckIns: checkIns})
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		g.byName[shard].Primary+"/v1/observe", bytes.NewReader(body))
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		g.met.backendErrors.Add(1)
+		g.markDown(g.byName[shard].Primary)
+		res.Error = err.Error()
+		return res
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		var eb gwError
+		json.Unmarshal(raw, &eb)
+		if eb.Error == "" {
+			eb.Error = resp.Status
+		}
+		res.Error = fmt.Sprintf("primary answered %d: %s", resp.StatusCode, eb.Error)
+		return res
+	}
+	var ok struct {
+		Added      int    `json:"added"`
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal(raw, &ok); err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Added, res.Generation = ok.Added, ok.Generation
+	return res
+}

@@ -1,0 +1,344 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// shardMetricsDoc is the subset of a shard's /metrics document the gateway
+// merges. It deliberately mirrors serve's JSON rather than importing its
+// types: the gateway only depends on the wire contract, and unknown fields
+// added by future shard versions are ignored instead of breaking the merge.
+type shardMetricsDoc struct {
+	Shard struct {
+		Name      string `json:"name"`
+		Role      string `json:"role"`
+		Misrouted int64  `json:"misrouted"`
+	} `json:"shard"`
+	Recommend struct {
+		Count int64 `json:"count"`
+	} `json:"recommend"`
+	Explain struct {
+		Count int64 `json:"count"`
+	} `json:"explain"`
+	Observe struct {
+		Count int64 `json:"count"`
+	} `json:"observe"`
+	BadRequests    int64 `json:"bad_requests"`
+	Shed           int64 `json:"shed_503"`
+	DeadlineMissed int64 `json:"deadline_504"`
+	InternalErrors int64 `json:"internal_500"`
+	Snapshot       struct {
+		Generation uint64 `json:"generation"`
+	} `json:"snapshot"`
+	Replication struct {
+		ShipmentsServed  int64 `json:"shipments_served"`
+		Applied          int64 `json:"applied"`
+		Syncs            int64 `json:"syncs"`
+		Failures         int64 `json:"failures"`
+		ChecksumRejected int64 `json:"checksum_rejected"`
+	} `json:"replication"`
+	Windows *struct {
+		RecommendMs []float64 `json:"recommend_ms"`
+		ExplainMs   []float64 `json:"explain_ms"`
+		ObserveMs   []float64 `json:"observe_ms"`
+	} `json:"windows"`
+}
+
+// routeAgg is one request class merged across the cluster: summed counts and
+// percentiles computed over the concatenation of every endpoint's raw latency
+// window — per-shard percentiles cannot be merged, raw samples can.
+type routeAgg struct {
+	Count int64   `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+// endpointMetrics is the per-endpoint breakdown in the merged document.
+type endpointMetrics struct {
+	Shard      string `json:"shard"`
+	Role       string `json:"role"`
+	Endpoint   string `json:"endpoint"`
+	Generation uint64 `json:"generation"`
+	Recommend  int64  `json:"recommend"`
+	Explain    int64  `json:"explain"`
+	Observe    int64  `json:"observe"`
+	Misrouted  int64  `json:"misrouted"`
+}
+
+// clusterMetrics is the document served by the gateway's GET /metrics.
+type clusterMetrics struct {
+	Shards      int      `json:"shards"`
+	Endpoints   int      `json:"endpoints"`
+	Unreachable []string `json:"unreachable,omitempty"`
+
+	Recommend routeAgg `json:"recommend"`
+	Explain   routeAgg `json:"explain"`
+	Observe   routeAgg `json:"observe"`
+
+	Totals struct {
+		BadRequests    int64 `json:"bad_requests"`
+		Shed           int64 `json:"shed_503"`
+		DeadlineMissed int64 `json:"deadline_504"`
+		InternalErrors int64 `json:"internal_500"`
+		Misrouted      int64 `json:"misrouted"`
+	} `json:"totals"`
+
+	Replication struct {
+		ShipmentsServed  int64 `json:"shipments_served"`
+		Applied          int64 `json:"applied"`
+		Syncs            int64 `json:"syncs"`
+		Failures         int64 `json:"failures"`
+		ChecksumRejected int64 `json:"checksum_rejected"`
+	} `json:"replication"`
+
+	Gateway struct {
+		Requests       int64 `json:"requests"`
+		Failovers      int64 `json:"failovers"`
+		BackendErrors  int64 `json:"backend_errors"`
+		ObserveFanouts int64 `json:"observe_fanouts"`
+	} `json:"gateway"`
+
+	PerEndpoint []endpointMetrics `json:"per_endpoint"`
+}
+
+// percentiles computes p50/p95/p99 of samples (sorted in place), matching the
+// per-shard definition so a one-shard cluster reports the same numbers the
+// shard does.
+func percentiles(samples []float64) (p50, p95, p99 float64) {
+	n := len(samples)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(samples)
+	at := func(p float64) float64 {
+		idx := int(p*float64(n)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return samples[idx]
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// endpointRole labels an endpoint by its position in the shard set.
+type taggedEndpoint struct {
+	shard string
+	role  string
+	url   string
+}
+
+func (g *Gateway) allEndpoints() []taggedEndpoint {
+	var eps []taggedEndpoint
+	for _, set := range g.sets {
+		eps = append(eps, taggedEndpoint{shard: set.Name, role: "primary", url: set.Primary})
+		for _, rep := range set.Replicas {
+			eps = append(eps, taggedEndpoint{shard: set.Name, role: "replica", url: rep})
+		}
+	}
+	return eps
+}
+
+// fetchJSON GETs path from every endpoint concurrently, decoding each body
+// into a value produced by newDoc; failed endpoints report err instead.
+type endpointResult[T any] struct {
+	ep  taggedEndpoint
+	doc T
+	err error
+}
+
+func fetchAll[T any](ctx context.Context, g *Gateway, path string) []endpointResult[T] {
+	eps := g.allEndpoints()
+	out := make([]endpointResult[T], len(eps))
+	var wg sync.WaitGroup
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep taggedEndpoint) {
+			defer wg.Done()
+			out[i].ep = ep
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep.url+path, nil)
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			resp, err := g.client.Do(req)
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			if err := json.NewDecoder(resp.Body).Decode(&out[i].doc); err != nil {
+				out[i].err = fmt.Errorf("decoding %s%s: %w", ep.url, path, err)
+			}
+		}(i, ep)
+	}
+	wg.Wait()
+	return out
+}
+
+// serveMetrics fans /metrics?window=1 to every endpoint and merges: counters
+// sum, latency percentiles are recomputed over the concatenated raw windows,
+// and the per-endpoint breakdown keeps each node individually inspectable.
+func (g *Gateway) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	g.met.scrapes.Add(1)
+	results := fetchAll[shardMetricsDoc](r.Context(), g, "/metrics?window=1")
+
+	var out clusterMetrics
+	out.Shards = len(g.sets)
+	out.Endpoints = len(results)
+	var recWin, expWin, obsWin []float64
+	for _, res := range results {
+		if res.err != nil {
+			out.Unreachable = append(out.Unreachable, res.ep.url)
+			continue
+		}
+		d := res.doc
+		out.Recommend.Count += d.Recommend.Count
+		out.Explain.Count += d.Explain.Count
+		out.Observe.Count += d.Observe.Count
+		out.Totals.BadRequests += d.BadRequests
+		out.Totals.Shed += d.Shed
+		out.Totals.DeadlineMissed += d.DeadlineMissed
+		out.Totals.InternalErrors += d.InternalErrors
+		out.Totals.Misrouted += d.Shard.Misrouted
+		out.Replication.ShipmentsServed += d.Replication.ShipmentsServed
+		out.Replication.Applied += d.Replication.Applied
+		out.Replication.Syncs += d.Replication.Syncs
+		out.Replication.Failures += d.Replication.Failures
+		out.Replication.ChecksumRejected += d.Replication.ChecksumRejected
+		if d.Windows != nil {
+			recWin = append(recWin, d.Windows.RecommendMs...)
+			expWin = append(expWin, d.Windows.ExplainMs...)
+			obsWin = append(obsWin, d.Windows.ObserveMs...)
+		}
+		out.PerEndpoint = append(out.PerEndpoint, endpointMetrics{
+			Shard:      res.ep.shard,
+			Role:       res.ep.role,
+			Endpoint:   res.ep.url,
+			Generation: d.Snapshot.Generation,
+			Recommend:  d.Recommend.Count,
+			Explain:    d.Explain.Count,
+			Observe:    d.Observe.Count,
+			Misrouted:  d.Shard.Misrouted,
+		})
+	}
+	out.Recommend.P50ms, out.Recommend.P95ms, out.Recommend.P99ms = percentiles(recWin)
+	out.Explain.P50ms, out.Explain.P95ms, out.Explain.P99ms = percentiles(expWin)
+	out.Observe.P50ms, out.Observe.P95ms, out.Observe.P99ms = percentiles(obsWin)
+	out.Gateway.Requests = g.met.requests.Load()
+	out.Gateway.Failovers = g.met.failovers.Load()
+	out.Gateway.BackendErrors = g.met.backendErrors.Load()
+	out.Gateway.ObserveFanouts = g.met.observeFanouts.Load()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&out)
+}
+
+// shardHealthDoc is the subset of a node's /healthz the gateway rolls up.
+type shardHealthDoc struct {
+	Status     string `json:"status"`
+	Generation uint64 `json:"generation"`
+	Reason     string `json:"reason"`
+}
+
+type endpointHealth struct {
+	Endpoint   string `json:"endpoint"`
+	Role       string `json:"role"`
+	Status     string `json:"status"`
+	Generation uint64 `json:"generation"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+type shardHealth struct {
+	Shard     string           `json:"shard"`
+	Status    string           `json:"status"`
+	Endpoints []endpointHealth `json:"endpoints"`
+}
+
+type clusterHealth struct {
+	Status  string        `json:"status"`
+	Shards  []shardHealth `json:"shards"`
+	Reasons []string      `json:"reasons,omitempty"`
+}
+
+// serveHealthz fans /healthz to every endpoint and rolls up: a shard is "ok"
+// when its primary is, "degraded" when the primary is degraded or reads have
+// failed over to a replica, and "down" when no endpoint can serve. The
+// cluster is as healthy as its worst shard; a down shard makes the rollup
+// 503 because part of the keyspace is unservable.
+func (g *Gateway) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	results := fetchAll[shardHealthDoc](r.Context(), g, "/healthz")
+	byShard := make(map[string][]endpointResult[shardHealthDoc])
+	for _, res := range results {
+		byShard[res.ep.shard] = append(byShard[res.ep.shard], res)
+	}
+
+	out := clusterHealth{Status: "ok"}
+	worst := 0 // 0 ok, 1 degraded, 2 down
+	for _, set := range g.sets {
+		sh := shardHealth{Shard: set.Name, Status: "ok"}
+		var primaryOK, anyOK bool
+		var primaryReason string
+		for _, res := range byShard[set.Name] {
+			eh := endpointHealth{Endpoint: res.ep.url, Role: res.ep.role}
+			if res.err != nil {
+				eh.Status = "unreachable"
+				eh.Reason = res.err.Error()
+			} else {
+				eh.Status = res.doc.Status
+				eh.Generation = res.doc.Generation
+				eh.Reason = res.doc.Reason
+			}
+			healthy := eh.Status == "ok"
+			if res.ep.role == "primary" {
+				primaryOK = healthy
+				if !healthy {
+					primaryReason = eh.Status
+					if eh.Reason != "" {
+						primaryReason += ": " + eh.Reason
+					}
+				}
+			}
+			// A degraded node still serves reads from its last snapshot.
+			if healthy || eh.Status == "degraded" {
+				anyOK = true
+			}
+			sh.Endpoints = append(sh.Endpoints, eh)
+		}
+		switch {
+		case primaryOK:
+		case anyOK:
+			sh.Status = "degraded"
+			out.Reasons = append(out.Reasons,
+				fmt.Sprintf("shard %q: primary %s, serving from remaining endpoints", set.Name, primaryReason))
+			if worst < 1 {
+				worst = 1
+			}
+		default:
+			sh.Status = "down"
+			out.Reasons = append(out.Reasons,
+				fmt.Sprintf("shard %q: no endpoint can serve (primary %s)", set.Name, primaryReason))
+			worst = 2
+		}
+		out.Shards = append(out.Shards, sh)
+	}
+	status := http.StatusOK
+	switch worst {
+	case 1:
+		out.Status = "degraded"
+	case 2:
+		out.Status = "down"
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(&out)
+}

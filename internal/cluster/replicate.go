@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"tcss/internal/geo"
+	"tcss/internal/serve"
+)
+
+// Replicator keeps one replica server on its primary's snapshot generation by
+// polling GET /v1/snapshot/bin?after=<last> and publishing verified shipments
+// through serve.Server.Publish. A corrupt shipment (fault.ErrChecksum from
+// the CRC32-C frame) or any transport failure leaves the replica serving its
+// last good generation — replication can only move the replica forward, never
+// break it.
+type Replicator struct {
+	// Server is the read-only replica the shipments are published into.
+	Server *serve.Server
+	// Primary is the base URL of the shard primary, e.g. "http://127.0.0.1:8001".
+	Primary string
+	// Dist is the replica's local POI distance matrix, grafted into shipped
+	// side information (the wire format deliberately excludes the O(J²)
+	// static matrix).
+	Dist *geo.DistanceMatrix
+	// Client is the HTTP client for fetches; http.DefaultClient when nil.
+	Client *http.Client
+	// Interval is the Run poll period; 500ms when zero. Tests drive SyncOnce
+	// directly and never wait on this.
+	Interval time.Duration
+
+	last atomic.Uint64 // generation of the last applied shipment
+}
+
+// Generation returns the last generation this replicator applied (zero before
+// the first successful sync; the replica's own bootstrap snapshot may be
+// newer).
+func (r *Replicator) Generation() uint64 { return r.last.Load() }
+
+func (r *Replicator) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return http.DefaultClient
+}
+
+// SyncOnce performs one poll-fetch-publish cycle and reports the replica's
+// generation afterwards plus whether a new snapshot was applied. Every
+// outcome is recorded in the replica's /metrics via RecordReplication.
+func (r *Replicator) SyncOnce(ctx context.Context) (gen uint64, applied bool, err error) {
+	after := r.last.Load()
+	if cur := r.Server.Generation(); cur > after {
+		after = cur // don't re-fetch what bootstrap already gave us
+	}
+	url := fmt.Sprintf("%s/v1/snapshot/bin?after=%d", r.Primary, after)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		r.Server.RecordReplication(err)
+		return after, false, err
+	}
+	resp, err := r.client().Do(req)
+	if err != nil {
+		r.Server.RecordReplication(err)
+		return after, false, fmt.Errorf("cluster: fetching shipment: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		// Already current: a successful sync that shipped nothing.
+		r.Server.RecordReplication(nil)
+		return after, false, nil
+	case http.StatusOK:
+	default:
+		io.Copy(io.Discard, resp.Body)
+		err := fmt.Errorf("cluster: primary answered %s to shipment fetch", resp.Status)
+		r.Server.RecordReplication(err)
+		return after, false, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		r.Server.RecordReplication(err)
+		return after, false, fmt.Errorf("cluster: reading shipment: %w", err)
+	}
+	model, side, shippedGen, err := serve.DecodeShipment(body, r.Dist)
+	if err != nil {
+		// Corrupt or torn shipment: counted (checksum_rejected when the CRC
+		// caught it), last good snapshot keeps serving.
+		r.Server.RecordReplication(err)
+		return after, false, err
+	}
+	gen, err = r.Server.Publish(ctx, model, side, shippedGen)
+	if err != nil {
+		r.Server.RecordReplication(err)
+		return after, false, err
+	}
+	r.Server.RecordReplication(nil)
+	r.last.Store(gen)
+	return gen, gen == shippedGen, nil
+}
+
+// Run polls SyncOnce every Interval until ctx is cancelled. Real deployments
+// run this in a goroutine; tests call SyncOnce directly for deterministic,
+// sleep-free replication.
+func (r *Replicator) Run(ctx context.Context) {
+	interval := r.Interval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			r.SyncOnce(ctx) // errors are in /metrics; keep polling
+		}
+	}
+}

@@ -442,6 +442,28 @@ func slabI8(payload []byte, s binSlab) []int8 {
 	return unsafe.Slice((*int8)(unsafe.Pointer(&b[0])), s.Len)
 }
 
+// DecodeBinary reconstructs a model from in-memory v5 binary bytes exactly
+// as SaveBinary wrote them (fixed CRC32-C frame + slab payload). It is the
+// wire-side counterpart of LoadFileMmap for snapshot shipping: a replica
+// receives the primary's snapshot over HTTP and decodes it without touching
+// disk. Corruption anywhere in the frame fails with fault.ErrChecksum; the
+// decoded model may alias data, so callers must not mutate the buffer while
+// the model is in use.
+func DecodeBinary(data []byte) (*Model, uint64, error) {
+	version, payload, err := fault.ReadFramed(data)
+	if version < 0 || version > FormatVersion {
+		return nil, 0, fmt.Errorf("%w: payload is v%d, this build reads v0-v%d",
+			ErrFormatVersion, version, FormatVersion)
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: decoding binary model bytes: %w", err)
+	}
+	if version != FormatVersion {
+		return nil, 0, fmt.Errorf("core: payload is a v%d JSON model, not a v5 binary snapshot", version)
+	}
+	return decodeBinary(payload)
+}
+
 // LoadFileMmap memory-maps a v5 binary model file and reconstructs the model
 // zero-copy: the factor slices alias the mapping, so the load is O(metadata)
 // regardless of model size and factor rows are paged in on first touch. The

@@ -19,6 +19,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/explain", s.serveExplain)
 	mux.HandleFunc("POST /v1/observe", s.serveObserve)
 	mux.HandleFunc("POST /v1/snapshot/save", s.serveSnapshotSave)
+	mux.HandleFunc("GET /v1/snapshot/bin", s.serveSnapshotBin)
 	mux.HandleFunc("GET /healthz", s.serveHealthz)
 	mux.HandleFunc("GET /metrics", s.serveMetrics)
 	return mux
@@ -50,6 +51,21 @@ func (s *Server) shed(w http.ResponseWriter, what string) {
 func (s *Server) deadline(w http.ResponseWriter) {
 	s.met.deadlineMissed.Add(1)
 	writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "request deadline exceeded"})
+}
+
+// misroute rejects with 421 Misdirected Request: the request reached a node
+// that must not answer it — a user outside this shard's partition, or a write
+// at a read-only replica. 421 rather than 404/503 because the request itself
+// is fine; only the routing is wrong, and the gateway should know loudly.
+func (s *Server) misroute(w http.ResponseWriter, format string, args ...any) {
+	s.met.misrouted.Add(1)
+	writeJSON(w, http.StatusMisdirectedRequest, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// owns reports whether this node's partition covers user. Standalone servers
+// (no Owns predicate) own everyone.
+func (s *Server) owns(user int) bool {
+	return s.opts.Owns == nil || s.opts.Owns(user)
 }
 
 // degraded rejects a write with 503 while the circuit breaker is open,
@@ -145,6 +161,10 @@ func (s *Server) serveRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	if user < 0 || user >= snap.Model.I {
 		s.badRequest(w, "user %d out of range [0, %d)", user, snap.Model.I)
+		return
+	}
+	if !s.owns(user) {
+		s.misroute(w, "user %d is not in shard %q's partition", user, s.opts.ShardName)
 		return
 	}
 	if t < 0 || t >= snap.Model.K {
@@ -265,6 +285,10 @@ func (s *Server) serveExplain(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, "user %d out of range [0, %d)", user, snap.Model.I)
 		return
 	}
+	if !s.owns(user) {
+		s.misroute(w, "user %d is not in shard %q's partition", user, s.opts.ShardName)
+		return
+	}
 	if poi < 0 || poi >= snap.Model.J {
 		s.badRequest(w, "poi %d out of range [0, %d)", poi, snap.Model.J)
 		return
@@ -324,6 +348,10 @@ func (s *Server) serveObserve(w http.ResponseWriter, r *http.Request) {
 		s.shed(w, "server draining, observe")
 		return
 	}
+	if s.src.ReadOnly() {
+		s.misroute(w, "%v", ErrReadOnly)
+		return
+	}
 	var req observeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.badRequest(w, "decoding body: %v", err)
@@ -339,6 +367,10 @@ func (s *Server) serveObserve(w http.ResponseWriter, r *http.Request) {
 		ci := lbsn.CheckIn{User: c.User, POI: c.POI, Month: c.Month, Week: c.Week, Hour: c.Hour}
 		if c.User < 0 || c.User >= snap.Model.I {
 			s.badRequest(w, "checkin %d: user %d out of range [0, %d)", i, c.User, snap.Model.I)
+			return
+		}
+		if !s.owns(c.User) {
+			s.misroute(w, "checkin %d: user %d is not in shard %q's partition", i, c.User, s.opts.ShardName)
 			return
 		}
 		if c.POI < 0 || c.POI >= snap.Model.J {
@@ -421,6 +453,9 @@ type healthResponse struct {
 	Status     string  `json:"status"`
 	Generation uint64  `json:"generation"`
 	AgeSeconds float64 `json:"snapshot_age_seconds"`
+	// Shard and Role identify this node inside a cluster; empty standalone.
+	Shard string `json:"shard,omitempty"`
+	Role  string `json:"role,omitempty"`
 	// Reason and Breaker appear when Status is "degraded": why the write
 	// path is down, and the breaker state ("open" or "half_open").
 	Reason  string `json:"reason,omitempty"`
@@ -440,6 +475,8 @@ func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:     "ok",
 		Generation: snap.Gen,
 		AgeSeconds: s.opts.now().Sub(snap.Created).Seconds(),
+		Shard:      s.opts.ShardName,
+		Role:       s.opts.Role,
 	}
 	if state, reason, _ := s.brk.status(); state != "closed" {
 		resp.Status = "degraded"
@@ -453,7 +490,7 @@ func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
-	m := s.collectMetrics()
+	m := s.collectMetrics(r.URL.Query().Get("window") == "1")
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)

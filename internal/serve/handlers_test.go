@@ -112,7 +112,7 @@ func TestRecommendHandler(t *testing.T) {
 	// handler and Recommender.Recommend share the TopNScratch kernel and the
 	// OwnPOIs skip set. (No observe has run, so the writer is idle and the
 	// recommender still holds the generation-0 state.)
-	want := srv.rec.Recommend(3, 5, 5)
+	want := srv.src.(*RecommenderSource).Rec.Recommend(3, 5, 5)
 	if len(want) != len(got.Results) {
 		t.Fatalf("library returned %d recs, handler %d", len(want), len(got.Results))
 	}

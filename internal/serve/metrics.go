@@ -29,17 +29,27 @@ func (r *latencyRing) observe(d time.Duration) {
 	r.mu.Unlock()
 }
 
-// percentiles returns the p50/p95/p99 of the current window in milliseconds,
-// or zeros when empty.
-func (r *latencyRing) percentiles() (p50, p95, p99 float64) {
+// window copies out the ring's current contents (up to ringSize samples, in
+// no particular order). The gateway scrapes these raw windows from every
+// shard to compute cluster-wide percentiles — percentiles of merged samples,
+// which per-shard percentiles cannot be combined into.
+func (r *latencyRing) window() []float64 {
 	r.mu.Lock()
 	n := int(r.count)
 	if n > ringSize {
 		n = ringSize
 	}
-	window := make([]float64, n)
-	copy(window, r.buf[:n])
+	out := make([]float64, n)
+	copy(out, r.buf[:n])
 	r.mu.Unlock()
+	return out
+}
+
+// percentiles returns the p50/p95/p99 of the current window in milliseconds,
+// or zeros when empty.
+func (r *latencyRing) percentiles() (p50, p95, p99 float64) {
+	window := r.window()
+	n := len(window)
 	if n == 0 {
 		return 0, 0, 0
 	}
@@ -92,6 +102,18 @@ type metrics struct {
 	coalesceRequests atomic.Int64
 	coalesceHist     [len(coalesceBucketLabels)]atomic.Int64
 
+	// Cluster counters: requests rejected because this node does not own the
+	// user (421 — a gateway/shard ring disagreement), shipments served to
+	// replicas, and the replica-side replication pipeline (publishes applied
+	// by the writer, sync attempts that fetched something, failures, and
+	// shipments the CRC frame rejected).
+	misrouted          atomic.Int64
+	shipmentsServed    atomic.Int64
+	replicationApplied atomic.Int64
+	replicationSyncs   atomic.Int64
+	replicationFails   atomic.Int64
+	replicationCRC     atomic.Int64
+
 	recommendLat latencyRing
 	explainLat   latencyRing
 	observeLat   latencyRing
@@ -112,9 +134,26 @@ type routeStats struct {
 	P99ms float64 `json:"p99_ms"`
 }
 
+// latencyWindows carries the raw per-route latency samples (milliseconds,
+// bounded by the ring size) when /metrics is scraped with ?window=1. The
+// gateway merges these across shards; plain scrapes omit the block.
+type latencyWindows struct {
+	RecommendMs []float64 `json:"recommend_ms"`
+	ExplainMs   []float64 `json:"explain_ms"`
+	ObserveMs   []float64 `json:"observe_ms"`
+}
+
 // metricsSnapshot is the JSON document served by GET /metrics.
 type metricsSnapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	// Shard identifies this node inside a cluster; empty for standalone
+	// deployments. Misrouted counts 421s from ring disagreements.
+	Shard struct {
+		Name      string `json:"name,omitempty"`
+		Role      string `json:"role,omitempty"`
+		Misrouted int64  `json:"misrouted"`
+	} `json:"shard"`
 
 	Recommend routeStats `json:"recommend"`
 	Explain   routeStats `json:"explain"`
@@ -138,6 +177,17 @@ type metricsSnapshot struct {
 		Swaps      int64   `json:"swaps"`
 		Saves      int64   `json:"saves"`
 	} `json:"snapshot"`
+
+	// Replication reports the snapshot-shipping pipeline: shipments this
+	// node served to replicas, and — on replicas — publishes applied, sync
+	// fetches, failures, and shipments rejected by the CRC frame.
+	Replication struct {
+		ShipmentsServed  int64 `json:"shipments_served"`
+		Applied          int64 `json:"applied"`
+		Syncs            int64 `json:"syncs"`
+		Failures         int64 `json:"failures"`
+		ChecksumRejected int64 `json:"checksum_rejected"`
+	} `json:"replication"`
 
 	// Model reports the resident factor storage of the served snapshot:
 	// the storage mode, total factor bytes (slabs + scales + core weights),
@@ -188,9 +238,17 @@ type metricsSnapshot struct {
 		BreakerRejected       int64  `json:"breaker_rejected"`
 		ChecksumRejectedLoads int64  `json:"checksum_rejected_loads"`
 	} `json:"reliability"`
+
+	// Windows is present only when /metrics is scraped with ?window=1: the
+	// raw latency samples behind the percentiles above, for cross-shard
+	// percentile merging at the gateway.
+	Windows *latencyWindows `json:"windows,omitempty"`
 }
 
-func (s *Server) collectMetrics() metricsSnapshot {
+// collectMetrics snapshots every counter into the /metrics document.
+// includeWindows additionally copies out the raw latency rings, which is
+// ~3×ringSize float64s of allocation — opt-in for gateway scrapes only.
+func (s *Server) collectMetrics(includeWindows bool) metricsSnapshot {
 	m := s.met
 	var out metricsSnapshot
 	out.UptimeSeconds = s.opts.now().Sub(m.start).Seconds()
@@ -202,6 +260,24 @@ func (s *Server) collectMetrics() metricsSnapshot {
 	fill(&out.Recommend, &m.recommendTotal, &m.recommendLat)
 	fill(&out.Explain, &m.explainTotal, &m.explainLat)
 	fill(&out.Observe, &m.observeTotal, &m.observeLat)
+
+	out.Shard.Name = s.opts.ShardName
+	out.Shard.Role = s.opts.Role
+	out.Shard.Misrouted = m.misrouted.Load()
+
+	out.Replication.ShipmentsServed = m.shipmentsServed.Load()
+	out.Replication.Applied = m.replicationApplied.Load()
+	out.Replication.Syncs = m.replicationSyncs.Load()
+	out.Replication.Failures = m.replicationFails.Load()
+	out.Replication.ChecksumRejected = m.replicationCRC.Load()
+
+	if includeWindows {
+		out.Windows = &latencyWindows{
+			RecommendMs: m.recommendLat.window(),
+			ExplainMs:   m.explainLat.window(),
+			ObserveMs:   m.observeLat.window(),
+		}
+	}
 
 	out.BadRequests = m.badRequest.Load()
 	out.Shed = m.shed.Load()

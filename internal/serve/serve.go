@@ -94,6 +94,24 @@ type Options struct {
 	// keeps only the newest file.
 	SnapshotKeep int
 
+	// ShardName and Role identify this node inside a sharded cluster; both
+	// appear in /healthz and /metrics so the gateway can label its rollups.
+	// Role is "primary" or "replica"; empty means a standalone node.
+	ShardName string
+	Role      string
+
+	// Owns, when non-nil, restricts the users this node answers for: a
+	// request for a user outside the partition is rejected with 421
+	// (Misdirected Request) instead of being served, so a gateway/shard ring
+	// disagreement surfaces as a loud routing error rather than a silently
+	// wrong (differently-generated) answer. Nil owns every user.
+	Owns func(user int) bool
+
+	// OnSwap, when set, observes every published snapshot — including the
+	// initial one — from the publishing goroutine. Cluster test harnesses
+	// use it to capture per-generation snapshots for bit-identity checks.
+	OnSwap func(*Snapshot)
+
 	// FS, when non-nil, routes snapshot writes through an injectable
 	// filesystem seam (fault.InjectFS in crash harnesses); nil uses the real
 	// filesystem.
@@ -244,8 +262,9 @@ func (o Options) withDefaults() Options {
 
 // writerCmd is a command for the single-writer update goroutine.
 type writerCmd struct {
-	checkIns []lbsn.CheckIn    // observe batch; nil for a save command
+	checkIns []lbsn.CheckIn    // observe batch
 	save     bool              // persist the current snapshot to SnapshotPath
+	pub      *Snapshot         // externally built snapshot to publish (replication)
 	reply    chan writerResult // buffered(1); always receives exactly once
 }
 
@@ -261,9 +280,9 @@ type Server struct {
 	opts Options
 	gran tcss.Granularity
 
-	// rec is owned by the writer goroutine after New returns; the read path
+	// src is owned by the writer goroutine after New returns; the read path
 	// only ever touches immutable snapshots.
-	rec *tcss.Recommender
+	src Source
 
 	snap  holder
 	coal  *coalescer // nil unless Options.Coalesce
@@ -299,14 +318,24 @@ func New(rec *tcss.Recommender, opts Options) (*Server, error) {
 	if rec == nil || rec.Model == nil || rec.Side == nil {
 		return nil, fmt.Errorf("serve: recommender is not fitted")
 	}
+	return NewFromSource(&RecommenderSource{Rec: rec}, opts)
+}
+
+// NewFromSource builds a Server over an arbitrary snapshot Source — the seam
+// replicas (StaticSource + Publish) and read-only deployments use — and
+// starts its update goroutine.
+func NewFromSource(src Source, opts Options) (*Server, error) {
+	if err := validateSource(src); err != nil {
+		return nil, err
+	}
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:  opts,
-		gran:  rec.Gran,
-		rec:   rec,
+		gran:  src.Granularity(),
+		src:   src,
 		cache: newLRUCache(opts.CacheSize),
 		met:   &metrics{start: opts.now()},
 		adm:   newAdmission(opts.MaxInflight, opts.MaxQueue),
@@ -315,10 +344,11 @@ func New(rec *tcss.Recommender, opts Options) (*Server, error) {
 		quit:  make(chan struct{}),
 		drain: make(chan struct{}),
 	}
+	model, side := src.Snapshot()
 	s.publish(&Snapshot{
 		Gen:     opts.FirstGeneration,
-		Model:   rec.Model,
-		Side:    rec.Side,
+		Model:   model,
+		Side:    side,
 		Created: opts.now(),
 	})
 	if opts.Coalesce {
@@ -377,9 +407,57 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) publish(snap *Snapshot) {
 	s.snap.store(snap)
 	s.cache.purge()
+	if s.opts.OnSwap != nil {
+		s.opts.OnSwap(snap)
+	}
 	if s.onSwap != nil {
 		s.onSwap(snap)
 	}
+}
+
+// Publish hands an externally built snapshot (model, side information,
+// generation) to the writer goroutine for publication. It is how snapshot
+// shipping feeds a replica: the Replicator decodes a shipped generation and
+// publishes it here, keeping the single-writer invariant — reads never see a
+// half-swapped snapshot, and publications observe a total order. Generations
+// are monotonic: a shipment at or below the current generation is a no-op
+// (the returned generation reports what is actually served). Publish blocks
+// until the writer picks the command up or ctx expires.
+func (s *Server) Publish(ctx context.Context, model *core.Model, side *core.SideInfo, gen uint64) (uint64, error) {
+	if model == nil || side == nil {
+		return s.snap.load().Gen, fmt.Errorf("serve: publish with nil model or side")
+	}
+	cmd := writerCmd{
+		pub:   &Snapshot{Gen: gen, Model: model, Side: side, Created: s.opts.now()},
+		reply: make(chan writerResult, 1),
+	}
+	select {
+	case s.cmds <- cmd:
+	case <-ctx.Done():
+		return s.snap.load().Gen, ctx.Err()
+	case <-s.quit:
+		return s.snap.load().Gen, fmt.Errorf("serve: server closed")
+	}
+	select {
+	case res := <-cmd.reply:
+		return res.gen, res.err
+	case <-ctx.Done():
+		return s.snap.load().Gen, ctx.Err()
+	}
+}
+
+// handlePublish applies a Publish command on the writer goroutine. Stale or
+// duplicate generations are no-ops so replication retries and races cannot
+// move a node backwards.
+func (s *Server) handlePublish(snap *Snapshot) writerResult {
+	cur := s.snap.load()
+	if snap.Gen <= cur.Gen {
+		return writerResult{gen: cur.Gen}
+	}
+	s.publish(snap)
+	s.met.snapshotSwaps.Add(1)
+	s.met.replicationApplied.Add(1)
+	return writerResult{gen: snap.Gen}
 }
 
 // writerLoop is the single writer: it serializes every model mutation and
@@ -415,10 +493,14 @@ func (s *Server) writerLoop() {
 }
 
 func (s *Server) dispatch(cmd writerCmd) writerResult {
-	if cmd.save {
+	switch {
+	case cmd.save:
 		return s.handleSave()
+	case cmd.pub != nil:
+		return s.handlePublish(cmd.pub)
+	default:
+		return s.handleObserve(cmd.checkIns)
 	}
-	return s.handleObserve(cmd.checkIns)
 }
 
 func (s *Server) handleObserve(checkIns []lbsn.CheckIn) writerResult {
@@ -430,7 +512,7 @@ func (s *Server) handleObserve(checkIns []lbsn.CheckIn) writerResult {
 		s.met.breakerRejected.Add(1)
 		return writerResult{gen: cur.Gen, err: err}
 	}
-	added, err := s.observeOnce(checkIns)
+	added, model, side, err := s.observeOnce(checkIns)
 	if err != nil {
 		s.met.observeFailures.Add(1)
 		if s.brk.failure(err) {
@@ -447,8 +529,8 @@ func (s *Server) handleObserve(checkIns []lbsn.CheckIn) writerResult {
 	}
 	next := &Snapshot{
 		Gen:     cur.Gen + 1,
-		Model:   s.rec.Model,
-		Side:    s.rec.Side,
+		Model:   model,
+		Side:    side,
 		Created: s.opts.now(),
 	}
 	s.publish(next)
@@ -459,12 +541,12 @@ func (s *Server) handleObserve(checkIns []lbsn.CheckIn) writerResult {
 }
 
 // observeOnce runs one guarded observe: the injected fault seam first, then
-// the transactional model update (which itself reverts on error).
-func (s *Server) observeOnce(checkIns []lbsn.CheckIn) (int, error) {
+// the source's transactional model update (which itself reverts on error).
+func (s *Server) observeOnce(checkIns []lbsn.CheckIn) (int, *core.Model, *core.SideInfo, error) {
 	if err := s.opts.Faults.Before("observe"); err != nil {
-		return 0, err
+		return 0, nil, nil, err
 	}
-	return s.rec.Observe(checkIns, s.opts.Online)
+	return s.src.Observe(checkIns, s.opts.Online)
 }
 
 func (s *Server) handleSave() writerResult {

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Cluster serving end-to-end smoke.
+#
+# Spawns a local SHARDS × (1 primary + REPLICAS) cluster of `tcss serve`
+# processes on a deterministic synthetic model (default: 1M users), fronts it
+# with a tcssgw gateway, and drives a closed-loop burst of verified load
+# through the gateway while killing -9 one primary mid-burst. The load
+# generator recomputes every recommend response from its own local copy of
+# the synthetic model and exits nonzero on any mismatch — wrong shard, stale
+# replica generation, torn shipment — so routing and failover correctness is
+# checked response by response, not just by status codes.
+#
+# Tunables (env): CLUSTER_SMOKE_USERS, _SHARDS, _REPLICAS, _DURATION, _CONNS,
+# _PORT_BASE, _GW_PORT, _OUT (bench JSON destination).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+USERS="${CLUSTER_SMOKE_USERS:-1000000}"
+SHARDS="${CLUSTER_SMOKE_SHARDS:-4}"
+REPLICAS="${CLUSTER_SMOKE_REPLICAS:-2}"
+DURATION="${CLUSTER_SMOKE_DURATION:-8s}"
+CONNS="${CLUSTER_SMOKE_CONNS:-8}"
+PORT_BASE="${CLUSTER_SMOKE_PORT_BASE:-19100}"
+GW_PORT="${CLUSTER_SMOKE_GW_PORT:-18090}"
+POIS=1000
+TIMES=12
+RANK=8
+SEED=7
+
+WORK="$(mktemp -d /tmp/tcss_cluster_smoke.XXXXXX)"
+OUT="${CLUSTER_SMOKE_OUT:-$WORK/bench_cluster.json}"
+GW_URL="http://127.0.0.1:${GW_PORT}"
+GW_PID=""
+
+cleanup() {
+    if [[ -n "$GW_PID" ]] && kill -0 "$GW_PID" 2>/dev/null; then
+        kill "$GW_PID" 2>/dev/null || true
+        wait "$GW_PID" 2>/dev/null || true
+    fi
+    # The gateway SIGTERMs its children on shutdown; sweep stragglers (the
+    # kill -9 victim has no parent left to reap its pid file).
+    for f in "$WORK"/pids/*.pid; do
+        [[ -e "$f" ]] && kill -9 "$(cat "$f")" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "cluster-smoke: building binaries..."
+go build -o "$WORK/tcss" ./cmd/tcss
+go build -o "$WORK/tcssgw" ./cmd/tcssgw
+go build -o "$WORK/loadgen" ./cmd/loadgen
+
+echo "cluster-smoke: spawning $SHARDS shards x $REPLICAS replicas (synthetic, $USERS users)..."
+"$WORK/tcssgw" -listen "127.0.0.1:${GW_PORT}" \
+    -spawn "$SHARDS" -replicas "$REPLICAS" -port-base "$PORT_BASE" \
+    -tcss "$WORK/tcss" -pid-dir "$WORK/pids" \
+    -seed "$SEED" -synth-users "$USERS" -synth-pois "$POIS" \
+    -synth-times "$TIMES" -synth-rank "$RANK" &
+GW_PID=$!
+
+up=0
+for _ in $(seq 1 300); do
+    if curl -fsS "$GW_URL/healthz" >/dev/null 2>&1; then up=1; break; fi
+    kill -0 "$GW_PID" 2>/dev/null || { echo "cluster-smoke: gateway died during spawn"; exit 1; }
+    sleep 0.2
+done
+[[ $up -eq 1 ]] || { echo "cluster-smoke: gateway never became healthy"; exit 1; }
+echo "cluster-smoke: cluster healthy behind $GW_URL"
+
+# Verified load burst: every recommend response is recomputed locally and
+# compared byte-for-byte; -observe-frac 0 keeps the model at generation 1 so
+# the local copy stays authoritative across the injected failure.
+"$WORK/loadgen" -url "$GW_URL" -users "$USERS" -pois "$POIS" -times "$TIMES" \
+    -synth-rank "$RANK" -seed "$SEED" -verify -observe-frac 0 \
+    -conns "$CONNS" -duration "$DURATION" -out "$OUT" &
+LG_PID=$!
+
+# Mid-burst, crash one primary outright. The gateway must fail reads over to
+# that shard's replicas — which hold the same generation via snapshot
+# shipping — without a single response changing.
+sleep 2
+VICTIM_PID="$(cat "$WORK/pids/shard-1.pid")"
+echo "cluster-smoke: kill -9 primary shard-1 (pid $VICTIM_PID)"
+kill -9 "$VICTIM_PID"
+
+if ! wait "$LG_PID"; then
+    echo "cluster-smoke: FAIL — loadgen saw mismatched responses (see above)"
+    exit 1
+fi
+
+# The burst outlived a primary: the gateway must have actually failed over,
+# and the cluster must report degraded (not down) health.
+metrics="$(curl -fsS "$GW_URL/metrics")"
+failovers="$(printf '%s' "$metrics" | grep -o '"failovers": *[0-9]*' | head -1 | grep -o '[0-9]*$')"
+if [[ -z "$failovers" || "$failovers" -eq 0 ]]; then
+    echo "cluster-smoke: FAIL — primary was killed but gateway reports no failovers"
+    exit 1
+fi
+health_status="$(curl -s -o /dev/null -w '%{http_code}' "$GW_URL/healthz")"
+if [[ "$health_status" != "200" ]]; then
+    echo "cluster-smoke: FAIL — healthz returned $health_status after single-primary loss (replicas should keep the shard serving)"
+    exit 1
+fi
+
+echo "cluster-smoke: PASS — bit-identical responses across $SHARDS shards, $failovers failovers after primary kill"
