@@ -7,7 +7,7 @@ KERNEL_BENCH = 'BenchmarkLoss(Naive|NegSampling|Rewritten)$$|BenchmarkLossRewrit
 
 .PHONY: build test race vet bench bench-all check gradcheck fuzz golden-update \
 	serve loadgen serve-bench serve-smoke resume-smoke crash-smoke bench-pr4 \
-	quant-smoke bench-pr6 cluster-smoke bench-pr7
+	quant-smoke bench-pr6 cluster-smoke bench-pr7 ab-smoke
 
 build:
 	$(GO) build ./...
@@ -134,6 +134,37 @@ quant-smoke:
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	test $$status -eq 0 || { echo "quant-smoke: loadgen failed ($$status)"; exit 1; }
 	@echo "quant-smoke: int8 model saved (v5), mmap-served with coalescing, load OK"
+
+# Multi-model serving end-to-end smoke: train the TCSS tensor model plus an
+# STRNN sequential model in one process, serve with a 50/50 deterministic A/B
+# user split and STRNN shadow scoring, and drive a mixed recommend + next-POI
+# workload over HTTP. Loadgen exits nonzero unless both models served traffic
+# and off-path shadow scorings completed with a sane agreement fraction. The
+# report (per-model client p99s, per-model server metrics, shadow agreement)
+# is the basis of BENCH_PR8.json.
+AB_DIR ?= /tmp/tcss_ab_smoke
+AB_ADDR ?= 127.0.0.1:18094
+ab-smoke:
+	rm -rf $(AB_DIR) && mkdir -p $(AB_DIR)
+	$(GO) build -o $(AB_DIR)/tcss ./cmd/tcss
+	$(GO) build -o $(AB_DIR)/loadgen ./cmd/loadgen
+	$(AB_DIR)/tcss serve -preset gmu-5k -epochs 40 -rank 8 \
+		-seq STRNN -seq-epochs 3 -seq-rank 8 -seq-save $(AB_DIR)/strnn.state \
+		-ab STRNN=0.5 -shadow STRNN -addr $(AB_ADDR) & \
+	pid=$$!; \
+	up=0; for i in $$(seq 1 150); do \
+		curl -fsS http://$(AB_ADDR)/healthz >/dev/null 2>&1 && { up=1; break; }; \
+		sleep 0.2; \
+	done; \
+	test $$up -eq 1 || { echo "ab-smoke: server never became healthy"; kill $$pid; exit 1; }; \
+	$(AB_DIR)/loadgen -url http://$(AB_ADDR) -users 220 -pois 200 -times 12 \
+		-conns 4 -duration 3s -observe-frac 0 -next-frac 0.35 \
+		-require-models tcss,STRNN -require-shadow \
+		-out $(AB_DIR)/ab_smoke.json; status=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	test $$status -eq 0 || { echo "ab-smoke: loadgen failed ($$status)"; exit 1; }
+	test -s $(AB_DIR)/strnn.state || { echo "ab-smoke: no saved STRNN state"; exit 1; }
+	@echo "ab-smoke: A/B split + shadow served a mixed recommend/next workload, all checks passed"
 
 # The PR 6 compact-serving benchmark: the TopN batch-vs-scratch kernel
 # comparison, then HTTP-level closed-loop runs with the response cache off —

@@ -49,6 +49,7 @@ type options struct {
 	rate        float64
 	duration    time.Duration
 	observeFrac float64
+	nextFrac    float64
 	topN        int
 	users       int
 	pois        int
@@ -66,6 +67,9 @@ type options struct {
 	verify    bool
 	synthRank int
 	ver       *verifier
+
+	requireModels string
+	requireShadow bool
 }
 
 // sample is one completed request, classified for aggregation. status and ms
@@ -73,10 +77,12 @@ type options struct {
 // before it.
 type sample struct {
 	observe  bool
+	next     bool
 	status   int
 	ms       float64
 	cacheHit bool
 	retries  int
+	model    string // routed model from the X-Model header
 	body     []byte // final-attempt response body, captured only under -verify
 }
 
@@ -92,6 +98,7 @@ func main() {
 	flag.Float64Var(&o.rate, "rate", 0, "open-loop target requests/s (0 = closed loop)")
 	flag.DurationVar(&o.duration, "duration", 10*time.Second, "measurement duration")
 	flag.Float64Var(&o.observeFrac, "observe-frac", 0.001, "fraction of requests that are observe batches")
+	flag.Float64Var(&o.nextFrac, "next-frac", 0, "fraction of requests that are POST /v1/next with a random check-in sequence (requires -url against a server with a sequential model)")
 	flag.IntVar(&o.topN, "n", 10, "top-N per recommend request")
 	flag.IntVar(&o.users, "users", 0, "user id range for -url mode (ignored when self-hosting)")
 	flag.IntVar(&o.pois, "pois", 0, "poi id range for -url mode (ignored when self-hosting)")
@@ -106,6 +113,8 @@ func main() {
 	flag.BoolVar(&o.noCache, "no-cache", false, "self-host with the response cache disabled (bench the scoring path)")
 	flag.BoolVar(&o.verify, "verify", false, "recompute every recommend response from the synthetic model and exit nonzero on any mismatch (requires -url against a -synth-* cluster with matching -users/-pois/-times/-synth-rank/-seed, and -observe-frac 0)")
 	flag.IntVar(&o.synthRank, "synth-rank", 8, "synthetic model embedding rank for -verify")
+	flag.StringVar(&o.requireModels, "require-models", "", "comma-separated model names that must show served traffic in the target's /metrics (exit nonzero otherwise)")
+	flag.BoolVar(&o.requireShadow, "require-shadow", false, "require the target's /metrics to show completed shadow scoring (exit nonzero otherwise)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -130,6 +139,14 @@ func run(o options) (err error) {
 		}
 		if o.observeFrac > 0 && o.pois <= 0 {
 			return fmt.Errorf("-url mode with -observe-frac > 0 requires -pois")
+		}
+	}
+	if o.nextFrac > 0 {
+		if o.url == "" {
+			return fmt.Errorf("-next-frac requires -url (the target must serve a sequential model on /v1/next)")
+		}
+		if o.pois <= 0 {
+			return fmt.Errorf("-next-frac requires -pois (check-in sequences draw random POI ids)")
 		}
 	}
 	if o.verify {
@@ -207,6 +224,24 @@ func run(o options) (err error) {
 		report.Recommend.OK, report.Recommend.RPS,
 		report.Recommend.P50ms, report.Recommend.P95ms, report.Recommend.P99ms,
 		100*report.Recommend.CacheHitFrac)
+	if o.nextFrac > 0 {
+		fmt.Printf("next: %d ok, %.0f req/s, p50 %.3fms p95 %.3fms p99 %.3fms, client cache-hit %.1f%%\n",
+			report.Next.OK, report.Next.RPS,
+			report.Next.P50ms, report.Next.P95ms, report.Next.P99ms,
+			100*report.Next.CacheHitFrac)
+	}
+	if len(report.Models) > 0 {
+		names := make([]string, 0, len(report.Models))
+		for name := range report.Models {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			cs := report.Models[name]
+			fmt.Printf("model %s: %d recommends (p99 %.3fms), %d nexts (p99 %.3fms)\n",
+				name, cs.Recommends, cs.P99ms, cs.Nexts, cs.NextP99ms)
+		}
+	}
 	fmt.Printf("observe: %d ok, %d shed; errors: %d shed_503, %d deadline_504, %d other\n",
 		report.Observe.OK, report.Observe.Shed,
 		report.Errors.Shed503, report.Errors.Deadline504, report.Errors.Other)
@@ -224,6 +259,67 @@ func run(o options) (err error) {
 		if report.Verify.Checked == 0 {
 			return fmt.Errorf("verify: no successful recommend responses to check")
 		}
+	}
+	if o.requireModels != "" || o.requireShadow {
+		if err := checkServerModels(report.Server, o); err != nil {
+			return err
+		}
+		fmt.Println("require: server-side model and shadow checks passed")
+	}
+	return nil
+}
+
+// checkServerModels asserts multi-model serving invariants against the
+// scraped /metrics document: every -require-models name must have served
+// traffic, and -require-shadow demands completed off-path shadow scorings
+// with a sane agreement fraction.
+func checkServerModels(raw json.RawMessage, o options) error {
+	if raw == nil {
+		return fmt.Errorf("require: /metrics scrape failed, cannot check models")
+	}
+	var m struct {
+		Models []struct {
+			Name         string `json:"name"`
+			Requests     int64  `json:"requests"`
+			NextRequests int64  `json:"next_requests"`
+			Shadow       struct {
+				Scored       int64   `json:"scored"`
+				Errors       int64   `json:"errors"`
+				AgreementAvg float64 `json:"agreement_avg"`
+			} `json:"shadow"`
+		} `json:"models"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("require: decoding /metrics: %w", err)
+	}
+	byName := make(map[string]int)
+	for i, ms := range m.Models {
+		byName[ms.Name] = i
+	}
+	if o.requireModels != "" {
+		for _, name := range strings.Split(o.requireModels, ",") {
+			name = strings.TrimSpace(name)
+			i, ok := byName[name]
+			if !ok {
+				return fmt.Errorf("require: model %q absent from server /metrics", name)
+			}
+			if m.Models[i].Requests+m.Models[i].NextRequests == 0 {
+				return fmt.Errorf("require: model %q served no traffic", name)
+			}
+		}
+	}
+	if o.requireShadow {
+		var scored int64
+		for _, ms := range m.Models {
+			scored += ms.Shadow.Scored
+			if avg := ms.Shadow.AgreementAvg; avg < 0 || avg > 1 {
+				return fmt.Errorf("require: model %q shadow agreement %g outside [0,1]", ms.Name, avg)
+			}
+		}
+		if scored == 0 {
+			return fmt.Errorf("require: no completed shadow scorings on the server")
+		}
+		fmt.Printf("require: %d shadow scorings completed\n", scored)
 	}
 	return nil
 }
@@ -408,12 +504,38 @@ func issue(o options, base string, client *http.Client, rng *rand.Rand) sample {
 		s.observe = true
 		return s
 	}
+	if o.nextFrac > 0 && rng.Float64() < o.nextFrac {
+		return issueNext(o, base, client, rng)
+	}
 	user, t := rng.Intn(o.users), rng.Intn(o.times)
 	url := fmt.Sprintf("%s/v1/recommend?user=%d&t=%d&n=%d", base, user, t, o.topN)
 	s := timed(o, rng, func() (*http.Response, error) { return client.Get(url) })
 	if o.ver != nil && s.status == http.StatusOK {
 		o.ver.check(user, t, o.topN, s.body)
 	}
+	s.body = nil
+	return s
+}
+
+// issueNext performs one POST /v1/next with a random check-in sequence of
+// 2–8 visits whose time units ascend, mimicking a user trajectory.
+func issueNext(o options, base string, client *http.Client, rng *rand.Rand) sample {
+	seqLen := 2 + rng.Intn(7)
+	ts := make([]int, seqLen)
+	for i := range ts {
+		ts[i] = rng.Intn(o.times)
+	}
+	sort.Ints(ts)
+	checkins := make([]map[string]int, seqLen)
+	for i := range checkins {
+		checkins[i] = map[string]int{"poi": rng.Intn(o.pois), "t": ts[i]}
+	}
+	body, _ := json.Marshal(map[string]any{"checkins": checkins})
+	url := fmt.Sprintf("%s/v1/next?user=%d&n=%d", base, rng.Intn(o.users), o.topN)
+	s := timed(o, rng, func() (*http.Response, error) {
+		return client.Post(url, "application/json", bytes.NewReader(body))
+	})
+	s.next = true
 	s.body = nil
 	return s
 }
@@ -500,6 +622,7 @@ func timed(o options, rng *rand.Rand, send func() (*http.Response, error)) sampl
 		}
 		s.status = resp.StatusCode
 		s.cacheHit = resp.Header.Get("X-Cache") == "HIT"
+		s.model = resp.Header.Get("X-Model")
 		retryAfter := resp.Header.Get("Retry-After")
 		if o.ver != nil {
 			s.body, _ = io.ReadAll(resp.Body)
@@ -532,17 +655,28 @@ func timed(o options, rng *rand.Rand, send func() (*http.Response, error)) sampl
 
 // aggregate accumulates samples; single-goroutine (the collector).
 type aggregate struct {
-	recLat     []float64
-	recOK      int
-	recHits    int
-	recRetries int
-	obsOK      int
-	obsShed    int
-	obsBad     int
-	obsRetries int
-	shed503    int
-	missed504  int
-	other      int
+	recLat      []float64
+	recOK       int
+	recHits     int
+	recRetries  int
+	nextLat     []float64
+	nextOK      int
+	nextHits    int
+	nextRetries int
+	obsOK       int
+	obsShed     int
+	obsBad      int
+	obsRetries  int
+	shed503     int
+	missed504   int
+	other       int
+	models      map[string]*modelAgg
+}
+
+// modelAgg is the client-side view of one routed model's traffic.
+type modelAgg struct {
+	recLat  []float64
+	nextLat []float64
 }
 
 func (a *aggregate) add(s sample) {
@@ -560,6 +694,25 @@ func (a *aggregate) add(s sample) {
 		}
 		return
 	}
+	if s.next {
+		a.nextRetries += s.retries
+		switch s.status {
+		case http.StatusOK:
+			a.nextOK++
+			a.nextLat = append(a.nextLat, s.ms)
+			if s.cacheHit {
+				a.nextHits++
+			}
+			a.perModel(s.model).nextLat = append(a.perModel(s.model).nextLat, s.ms)
+		case http.StatusServiceUnavailable:
+			a.shed503++
+		case http.StatusGatewayTimeout:
+			a.missed504++
+		default:
+			a.other++
+		}
+		return
+	}
 	a.recRetries += s.retries
 	switch s.status {
 	case http.StatusOK:
@@ -568,6 +721,7 @@ func (a *aggregate) add(s sample) {
 		if s.cacheHit {
 			a.recHits++
 		}
+		a.perModel(s.model).recLat = append(a.perModel(s.model).recLat, s.ms)
 	case http.StatusServiceUnavailable:
 		a.shed503++
 	case http.StatusGatewayTimeout:
@@ -575,6 +729,21 @@ func (a *aggregate) add(s sample) {
 	default:
 		a.other++
 	}
+}
+
+// perModel returns the accumulator for one X-Model value. Pre-registry
+// servers send no header; that traffic lands under "" and is dropped from
+// the models block.
+func (a *aggregate) perModel(model string) *modelAgg {
+	if a.models == nil {
+		a.models = make(map[string]*modelAgg)
+	}
+	m, ok := a.models[model]
+	if !ok {
+		m = &modelAgg{}
+		a.models[model] = m
+	}
+	return m
 }
 
 // benchReport is the BENCH_PR3.json document.
@@ -603,12 +772,22 @@ type benchReport struct {
 		CacheHitFrac float64 `json:"client_cache_hit_frac"`
 		Retries      int     `json:"retries"`
 	} `json:"recommend"`
+	Next struct {
+		OK           int     `json:"ok"`
+		RPS          float64 `json:"rps"`
+		P50ms        float64 `json:"p50_ms"`
+		P95ms        float64 `json:"p95_ms"`
+		P99ms        float64 `json:"p99_ms"`
+		CacheHitFrac float64 `json:"client_cache_hit_frac"`
+		Retries      int     `json:"retries"`
+	} `json:"next"`
 	Observe struct {
 		OK      int `json:"ok"`
 		Shed    int `json:"shed"`
 		Bad     int `json:"bad_request"`
 		Retries int `json:"retries"`
 	} `json:"observe"`
+	Models map[string]clientModelStats `json:"models,omitempty"`
 	Errors struct {
 		Shed503     int `json:"shed_503"`
 		Deadline504 int `json:"deadline_504"`
@@ -616,6 +795,15 @@ type benchReport struct {
 	} `json:"errors"`
 	Verify *verifyReport   `json:"verify,omitempty"`
 	Server json.RawMessage `json:"server_metrics,omitempty"`
+}
+
+// clientModelStats is the per-routed-model block of the report, keyed by the
+// X-Model response header.
+type clientModelStats struct {
+	Recommends int     `json:"recommends"`
+	P99ms      float64 `json:"p99_ms,omitempty"`
+	Nexts      int     `json:"nexts"`
+	NextP99ms  float64 `json:"next_p99_ms,omitempty"`
 }
 
 type verifyReport struct {
@@ -653,6 +841,27 @@ func (a *aggregate) report(o options, elapsed time.Duration) benchReport {
 		r.Recommend.CacheHitFrac = float64(a.recHits) / float64(a.recOK)
 	}
 	r.Recommend.Retries = a.recRetries
+	r.Next.OK = a.nextOK
+	r.Next.RPS = float64(a.nextOK) / elapsed.Seconds()
+	r.Next.P50ms, r.Next.P95ms, r.Next.P99ms = percentiles(a.nextLat)
+	if a.nextOK > 0 {
+		r.Next.CacheHitFrac = float64(a.nextHits) / float64(a.nextOK)
+	}
+	r.Next.Retries = a.nextRetries
+	for model, m := range a.models {
+		if model == "" {
+			continue
+		}
+		if r.Models == nil {
+			r.Models = make(map[string]clientModelStats)
+		}
+		var cs clientModelStats
+		cs.Recommends = len(m.recLat)
+		_, _, cs.P99ms = percentiles(m.recLat)
+		cs.Nexts = len(m.nextLat)
+		_, _, cs.NextP99ms = percentiles(m.nextLat)
+		r.Models[model] = cs
+	}
 	r.Observe.OK = a.obsOK
 	r.Observe.Shed = a.obsShed
 	r.Observe.Bad = a.obsBad

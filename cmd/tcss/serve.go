@@ -9,14 +9,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"tcss"
+	"tcss/internal/baselines"
 	"tcss/internal/cluster"
 	"tcss/internal/geo"
 	"tcss/internal/lbsn"
+	"tcss/internal/registry"
 	"tcss/internal/serve"
 )
 
@@ -27,8 +30,9 @@ func serveMain(args []string) {
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), `Usage: tcss serve [flags]
 
-Serves recommendations over HTTP: GET /v1/recommend, GET /v1/explain,
-POST /v1/observe, POST /v1/snapshot/save, GET /metrics, GET /healthz.
+Serves recommendations over HTTP: GET /v1/recommend, POST /v1/next,
+GET /v1/explain, POST /v1/observe, POST /v1/snapshot/save, GET /metrics,
+GET /healthz.
 
 Flags:
 `)
@@ -72,6 +76,14 @@ Flags:
 		syncEvery     = fs.Duration("sync-every", 500*time.Millisecond, "replica snapshot-shipping poll interval")
 		syncWait      = fs.Duration("sync-wait", 30*time.Second, "replica budget for the initial sync against the primary")
 		firstGenFlag  = fs.Uint64("first-gen", 0, "snapshot generation to publish at startup (overrides a loaded model's)")
+
+		seqModels = fs.String("seq", "", "comma-separated sequential models to train and register for /v1/next: STRNN, STGN, STAN")
+		seqEpochs = fs.Int("seq-epochs", 3, "sequential model training epochs")
+		seqRank   = fs.Int("seq-rank", 8, "sequential model embedding rank")
+		seqState  = fs.String("seq-state", "", "load a saved sequential model state (kind recorded in the file) and register it")
+		seqSave   = fs.String("seq-save", "", "save each trained sequential model's state here (suffixed .NAME when several)")
+		abSpec    = fs.String("ab", "", "A/B experiment NAME=FRACTION: deterministically route that fraction of users to model NAME")
+		shadowOf  = fs.String("shadow", "", "shadow model: score every request off-path on this model and record top-K agreement")
 
 		synthUsers = fs.Int("synth-users", 0, "serve a deterministic synthetic model with this many users (skips dataset and training)")
 		synthPOIs  = fs.Int("synth-pois", 1000, "synthetic model POI count")
@@ -201,6 +213,100 @@ Flags:
 		firstGen = *firstGenFlag
 	}
 
+	// Multi-model registry: train or load sequential baselines alongside the
+	// tensor model, then configure A/B and shadow routing over the set. The
+	// server registers the tensor model itself as primary "tcss".
+	var reg *registry.Registry
+	if *seqModels != "" || *seqState != "" || *abSpec != "" || *shadowOf != "" {
+		if *synthUsers > 0 {
+			fmt.Fprintln(os.Stderr, "tcss serve: -seq/-seq-state/-ab/-shadow need a real dataset and are incompatible with -synth-users")
+			os.Exit(1)
+		}
+		reg = registry.New()
+		seqGen := firstGen
+		if seqGen == 0 {
+			seqGen = 1
+		}
+		names := []string{}
+		if *seqModels != "" {
+			names = strings.Split(*seqModels, ",")
+		}
+		for _, name := range names {
+			name = strings.TrimSpace(name)
+			m, ok := baselines.SeqLookup(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tcss serve: unknown sequential model %q (want STRNN, STGN or STAN)\n", name)
+				os.Exit(1)
+			}
+			ctx := &baselines.Context{
+				Train:  rec.Train,
+				Social: rec.Dataset.Social,
+				Dist:   rec.Side.Dist,
+				Rank:   *seqRank,
+				Epochs: *seqEpochs,
+				Seed:   *seed,
+			}
+			start := time.Now()
+			if err := m.(baselines.Recommender).Fit(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "tcss serve: fitting %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("trained %s (rank=%d, epochs=%d) in %s\n", name, *seqRank, *seqEpochs, time.Since(start).Round(time.Millisecond))
+			if *seqSave != "" {
+				path := *seqSave
+				if len(names) > 1 {
+					path += "." + name
+				}
+				if err := baselines.SaveSeqState(nil, path, 1, seqGen, m); err != nil {
+					fmt.Fprintf(os.Stderr, "tcss serve: saving %s state: %v\n", name, err)
+					os.Exit(1)
+				}
+				fmt.Printf("saved %s state to %s (generation %d)\n", name, path, seqGen)
+			}
+			if err := reg.Register(registry.NewSeqScorer(m, seqGen)); err != nil {
+				fmt.Fprintln(os.Stderr, "tcss serve:", err)
+				os.Exit(1)
+			}
+		}
+		if *seqState != "" {
+			m, gen, from, err := baselines.LoadSeqStateFallback(*seqState, 16, dist)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tcss serve:", err)
+				os.Exit(1)
+			}
+			if err := reg.Register(registry.NewSeqScorer(m, gen)); err != nil {
+				fmt.Fprintln(os.Stderr, "tcss serve:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("loaded %s state %s (generation %d)\n", m.Name(), from, gen)
+		}
+		if *abSpec != "" {
+			name, fracStr, ok := strings.Cut(*abSpec, "=")
+			frac := 0.0
+			if ok {
+				var perr error
+				frac, perr = strconv.ParseFloat(fracStr, 64)
+				ok = perr == nil
+			}
+			if !ok || frac <= 0 || frac >= 1 {
+				fmt.Fprintf(os.Stderr, "tcss serve: -ab wants NAME=FRACTION with 0 < FRACTION < 1, got %q\n", *abSpec)
+				os.Exit(1)
+			}
+			if err := reg.SetAB(name, frac); err != nil {
+				fmt.Fprintln(os.Stderr, "tcss serve:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("A/B split: %.0f%% of users routed to %s\n", frac*100, name)
+		}
+		if *shadowOf != "" {
+			if err := reg.SetShadow(*shadowOf); err != nil {
+				fmt.Fprintln(os.Stderr, "tcss serve:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("shadow scoring on %s\n", *shadowOf)
+		}
+	}
+
 	online := tcss.DefaultOnlineConfig()
 	if *onlineEp > 0 {
 		online.Epochs = *onlineEp
@@ -227,6 +333,7 @@ Flags:
 		CoalesceBatch:   *coalesceBatch,
 		ShardName:       *shardName,
 		Role:            role,
+		Registry:        reg,
 	}
 	if *clusterShards != "" {
 		if *shardName == "" {
@@ -282,7 +389,7 @@ Flags:
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 
-	fmt.Printf("serving generation %d on %s (/v1/recommend /v1/explain /v1/observe /metrics /healthz)\n",
+	fmt.Printf("serving generation %d on %s (/v1/recommend /v1/next /v1/explain /v1/observe /metrics /healthz)\n",
 		srv.Generation(), *addr)
 
 	select {

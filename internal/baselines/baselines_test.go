@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -378,8 +379,26 @@ func TestLFBCAMassAndSocialStructure(t *testing.T) {
 	}
 }
 
-func TestScoreBeforeFitPanics(t *testing.T) {
+func TestScoreBeforeFit(t *testing.T) {
+	// The sequential models are servable (SeqServer): before Fit their Score
+	// returns 0 and the serving entry points surface ErrNotFitted, which the
+	// registry maps to HTTP 503. Every other baseline still panics.
 	for _, m := range Registry() {
+		if sm, ok := m.(SeqServer); ok {
+			if got := m.Score(0, 0, 0); got != 0 {
+				t.Errorf("%s: Score before Fit = %g, want 0", m.Name(), got)
+			}
+			if _, err := sm.RecommendTopN(0, 0, 1); !errors.Is(err, ErrNotFitted) {
+				t.Errorf("%s: RecommendTopN before Fit err = %v, want ErrNotFitted", m.Name(), err)
+			}
+			if _, err := sm.NextTopN(0, []Visit{{POI: 0, TimeIndex: 0}}, 0, 1); !errors.Is(err, ErrNotFitted) {
+				t.Errorf("%s: NextTopN before Fit err = %v, want ErrNotFitted", m.Name(), err)
+			}
+			if _, err := sm.captureState(); !errors.Is(err, ErrNotFitted) {
+				t.Errorf("%s: captureState before Fit err = %v, want ErrNotFitted", m.Name(), err)
+			}
+			continue
+		}
 		func() {
 			defer func() {
 				if recover() == nil {

@@ -3,6 +3,7 @@ package baselines
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"tcss/internal/geo"
 	"tcss/internal/nn"
@@ -42,6 +43,7 @@ type STRNN struct {
 	cell    *nn.RNNCell
 	rank    int
 	finalH  [][]float64
+	dist    *geo.DistanceMatrix
 	fit     bool
 }
 
@@ -121,6 +123,7 @@ func (s *STRNN) Fit(ctx *Context) error {
 		}
 	}
 	s.finalH = s.finalStates(ctx)
+	s.dist = ctx.Dist
 	s.fit = true
 	return nil
 }
@@ -143,10 +146,11 @@ func (s *STRNN) finalStates(ctx *Context) [][]float64 {
 	return out
 }
 
-// Score implements Recommender.
+// Score implements Recommender. Before Fit it returns 0; serving paths reach
+// the model through SeqServer, whose methods surface ErrNotFitted instead.
 func (s *STRNN) Score(i, j, k int) float64 {
 	if !s.fit {
-		panic("baselines: STRNN.Score before Fit")
+		return 0
 	}
 	h := s.finalH[i]
 	tk := s.embTime.Lookup(k)
@@ -170,6 +174,7 @@ type STGN struct {
 	cell    *nn.STLSTMCell
 	rank    int
 	finalH  [][]float64
+	dist    *geo.DistanceMatrix
 	fit     bool
 }
 
@@ -247,6 +252,7 @@ func (s *STGN) Fit(ctx *Context) error {
 		}
 	}
 	s.finalH = s.finalStates(ctx)
+	s.dist = ctx.Dist
 	s.fit = true
 	return nil
 }
@@ -268,10 +274,11 @@ func (s *STGN) finalStates(ctx *Context) [][]float64 {
 	return out
 }
 
-// Score implements Recommender.
+// Score implements Recommender. Before Fit it returns 0; serving paths reach
+// the model through SeqServer, whose methods surface ErrNotFitted instead.
 func (s *STGN) Score(i, j, k int) float64 {
 	if !s.fit {
-		panic("baselines: STGN.Score before Fit")
+		return 0
 	}
 	h := s.finalH[i]
 	tk := s.embTime.Lookup(k)
@@ -296,7 +303,10 @@ type STAN struct {
 	attn    *nn.Attention
 	rank    int
 
-	ctx      *Context
+	// seqs holds each user's training trajectory so the attention context
+	// can be recomputed at serve/score time without the full Context.
+	seqs     [][]Visit
+	ctxMu    sync.Mutex
 	ctxCache map[int64][]float64
 	fit      bool
 }
@@ -384,7 +394,7 @@ func (s *STAN) Fit(ctx *Context) error {
 			stepSeq(optim, nil, s.embUser, s.embPOI, s.embTime)
 		}
 	}
-	s.ctx = ctx
+	s.seqs = seqs
 	s.ctxCache = make(map[int64][]float64)
 	s.fit = true
 	return nil
@@ -418,13 +428,17 @@ func (s *STAN) buildQueryMemory(i, k int, history []Visit) (q []float64, mem [][
 }
 
 // context returns (cached) the attention context of user i at time k over
-// the user's full training trajectory.
+// the user's full training trajectory. Safe for concurrent use: the cache is
+// mutex-guarded so the serving tier can score in parallel.
 func (s *STAN) context(i, k int) []float64 {
-	key := int64(i)*int64(s.ctx.Train.DimK) + int64(k)
+	key := int64(i)*int64(s.embTime.N) + int64(k)
+	s.ctxMu.Lock()
 	if c, ok := s.ctxCache[key]; ok {
+		s.ctxMu.Unlock()
 		return c
 	}
-	seq := s.ctx.Sequences()[i]
+	s.ctxMu.Unlock()
+	seq := s.seqs[i]
 	var out []float64
 	if len(seq) == 0 {
 		out = make([]float64, s.rank)
@@ -432,14 +446,17 @@ func (s *STAN) context(i, k int) []float64 {
 		q, mem, _, _ := s.buildQueryMemory(i, k, seq)
 		out, _ = s.attn.Forward(q, mem, mem)
 	}
+	s.ctxMu.Lock()
 	s.ctxCache[key] = out
+	s.ctxMu.Unlock()
 	return out
 }
 
-// Score implements Recommender.
+// Score implements Recommender. Before Fit it returns 0; serving paths reach
+// the model through SeqServer, whose methods surface ErrNotFitted instead.
 func (s *STAN) Score(i, j, k int) float64 {
 	if !s.fit {
-		panic("baselines: STAN.Score before Fit")
+		return 0
 	}
 	out := s.context(i, k)
 	u := s.embUser.Lookup(i)

@@ -459,3 +459,109 @@ func TestGatewayRejectsBadReads(t *testing.T) {
 		t.Fatalf("out-of-range user: status %d, want 400", status)
 	}
 }
+
+// post POSTs a JSON body to url and returns (status, body, response).
+func post(t *testing.T, url, body string) (int, []byte, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw, resp
+}
+
+// TestGatewayNextRouting drives POST /v1/next through the gateway: requests
+// land on the owning shard with bodies byte-identical to a direct read from
+// that shard, survive primary failover (the buffered body is replayed against
+// the replica), and surface in the merged metrics' next and models blocks.
+func TestGatewayNextRouting(t *testing.T) {
+	c := clustertest.New(t, clustertest.Config{Shards: 2, Replicas: 1, SeqModel: "STRNN"})
+	body := `{"checkins":[{"poi":1,"t":0},{"poi":5,"t":2},{"poi":9,"t":4}]}`
+
+	const reads = 8
+	for u := 0; u < reads; u++ {
+		q := fmt.Sprintf("/v1/next?user=%d&n=5", u)
+		gs, gb, resp := post(t, c.GatewayURL+q, body)
+		if gs != http.StatusOK {
+			t.Fatalf("user %d: gateway status %d: %s", u, gs, gb)
+		}
+		shard := c.Ring.Owner(u)
+		if got := resp.Header.Get("X-Shard"); got != shard {
+			t.Fatalf("user %d routed to %q, ring owner is %q", u, got, shard)
+		}
+		if got := resp.Header.Get("X-Model"); got != "STRNN" {
+			t.Fatalf("user %d: X-Model %q not forwarded", u, got)
+		}
+		var set *clustertest.Shard
+		for _, sh := range c.Shards {
+			if sh.Name == shard {
+				set = sh
+			}
+		}
+		ds, db, _ := post(t, set.Primary.URL+q, body)
+		if ds != http.StatusOK || !bytes.Equal(gb, db) {
+			t.Fatalf("user %d: gateway body %s != direct shard body %s (status %d)", u, gb, db, ds)
+		}
+	}
+
+	// Failover: kill one primary; the buffered POST body must replay against
+	// the replica and, with bit-identical seeded models, return the same bytes.
+	owned := ownedUsers(c)
+	sh := c.Shards[0]
+	user, ok := owned[sh.Name]
+	if !ok {
+		t.Skipf("shard %s owns no user below %d", sh.Name, c.Config.Users)
+	}
+	q := fmt.Sprintf("/v1/next?user=%d&n=5", user)
+	_, before, _ := post(t, c.GatewayURL+q, body)
+	sh.Primary.Kill()
+	status, after, resp := post(t, c.GatewayURL+q, body)
+	if status != http.StatusOK {
+		t.Fatalf("next after primary kill: status %d: %s", status, after)
+	}
+	if got := resp.Header.Get("X-Backend"); got != sh.Replicas[0].URL {
+		t.Fatalf("served by %q after kill, want replica %q", got, sh.Replicas[0].URL)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("failover changed the answer:\n primary: %s\n replica: %s", before, after)
+	}
+	sh.Primary.Revive()
+
+	var met struct {
+		Next struct {
+			Count int64   `json:"count"`
+			P99ms float64 `json:"p99_ms"`
+		} `json:"next"`
+		Models []struct {
+			Name         string `json:"name"`
+			NextRequests int64  `json:"next_requests"`
+		} `json:"models"`
+	}
+	mstatus, mb, _ := get(t, c.GatewayURL+"/metrics")
+	if mstatus != http.StatusOK {
+		t.Fatalf("merged metrics: status %d", mstatus)
+	}
+	if err := json.Unmarshal(mb, &met); err != nil {
+		t.Fatal(err)
+	}
+	if met.Next.Count < reads {
+		t.Fatalf("merged next count %d, want >= %d", met.Next.Count, reads)
+	}
+	if met.Next.P99ms <= 0 {
+		t.Fatalf("merged next p99 %v, want > 0", met.Next.P99ms)
+	}
+	var strnn int64
+	for _, mm := range met.Models {
+		if mm.Name == "STRNN" {
+			strnn = mm.NextRequests
+		}
+	}
+	if strnn < reads {
+		t.Fatalf("merged STRNN next_requests %d, want >= %d", strnn, reads)
+	}
+}

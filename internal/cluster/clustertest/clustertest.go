@@ -17,9 +17,11 @@ import (
 	"time"
 
 	"tcss"
+	"tcss/internal/baselines"
 	"tcss/internal/cluster"
 	"tcss/internal/fault"
 	"tcss/internal/lbsn"
+	"tcss/internal/registry"
 	"tcss/internal/serve"
 )
 
@@ -36,6 +38,12 @@ type Config struct {
 	POIs     int // dataset POIs, default 36
 	Seed     int64
 	Serve    serve.Options // base options applied to every node
+
+	// SeqModel, when non-empty, registers this sequential baseline (STRNN,
+	// STGN or STAN) on every node so the cluster serves POST /v1/next.
+	// Training is seeded, so every node's copy is bit-identical and failover
+	// answers match the primary exactly.
+	SeqModel string
 }
 
 func (c Config) withDefaults() Config {
@@ -222,6 +230,29 @@ func (c *Cluster) fit(t *testing.T) *tcss.Recommender {
 	return rec
 }
 
+// fitSeq trains one copy of the configured sequential model on the shared
+// base recommender's training tensor. Seeded training makes every copy
+// bit-identical.
+func (c *Cluster) fitSeq(t *testing.T) baselines.SeqServer {
+	t.Helper()
+	m, ok := baselines.SeqLookup(c.Config.SeqModel)
+	if !ok {
+		t.Fatalf("unknown sequential model %q", c.Config.SeqModel)
+	}
+	ctx := &baselines.Context{
+		Train:  c.base.Train,
+		Social: c.base.Dataset.Social,
+		Dist:   c.base.Side.Dist,
+		Rank:   4,
+		Epochs: 2,
+		Seed:   c.Config.Seed,
+	}
+	if err := m.(baselines.Recommender).Fit(ctx); err != nil {
+		t.Fatalf("fitting %s: %v", c.Config.SeqModel, err)
+	}
+	return m
+}
+
 func (c *Cluster) newNode(t *testing.T, name, shard, role string, ring *cluster.Ring) *Node {
 	t.Helper()
 	n := &Node{Name: name, Shard: shard, Role: role, Faults: fault.NewHooks(c.Config.Seed)}
@@ -239,6 +270,16 @@ func (c *Cluster) newNode(t *testing.T, name, shard, role string, ring *cluster.
 	if opts.Online.Epochs == 0 {
 		opts.Online = tcss.DefaultOnlineConfig()
 		opts.Online.Epochs = 3
+	}
+	if c.Config.SeqModel != "" {
+		// Registries are single-server (the server registers itself as
+		// primary), so each node gets its own holding a freshly trained —
+		// and, by seeding, bit-identical — sequential model.
+		reg := registry.New()
+		if err := reg.Register(registry.NewSeqScorer(c.fitSeq(t), 1)); err != nil {
+			t.Fatal(err)
+		}
+		opts.Registry = reg
 	}
 
 	var srv *serve.Server
@@ -300,6 +341,13 @@ func (c *Cluster) Reference(t *testing.T) (*serve.Server, string) {
 	if opts.Online.Epochs == 0 {
 		opts.Online = tcss.DefaultOnlineConfig()
 		opts.Online.Epochs = 3
+	}
+	if c.Config.SeqModel != "" {
+		reg := registry.New()
+		if err := reg.Register(registry.NewSeqScorer(c.fitSeq(t), 1)); err != nil {
+			t.Fatal(err)
+		}
+		opts.Registry = reg
 	}
 	srv, err := serve.New(c.fit(t), opts)
 	if err != nil {

@@ -104,6 +104,7 @@ func NewGateway(sets []ShardSet, opts GatewayOptions) (*Gateway, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/recommend", g.serveRead)
 	mux.HandleFunc("GET /v1/explain", g.serveRead)
+	mux.HandleFunc("POST /v1/next", g.serveRead)
 	mux.HandleFunc("POST /v1/observe", g.serveObserve)
 	mux.HandleFunc("GET /metrics", g.serveMetrics)
 	mux.HandleFunc("GET /healthz", g.serveHealthz)
@@ -176,16 +177,25 @@ func retriable(status int) bool {
 	return false
 }
 
-// serveRead routes /v1/recommend and /v1/explain to the shard owning the
-// user, trying the primary first and failing over through replicas on
-// transport errors and 5xx. The winning response passes through byte-exact,
-// tagged with X-Shard and X-Backend.
+// serveRead routes /v1/recommend, /v1/explain and POST /v1/next to the shard
+// owning the user, trying the primary first and failing over through replicas
+// on transport errors and 5xx. A POST body is buffered once so every failover
+// candidate replays identical bytes. The winning response passes through
+// byte-exact, tagged with X-Shard and X-Backend.
 func (g *Gateway) serveRead(w http.ResponseWriter, r *http.Request) {
 	g.met.requests.Add(1)
 	user, err := strconv.Atoi(r.URL.Query().Get("user"))
 	if err != nil {
 		g.writeError(w, http.StatusBadRequest, "parameter %q: %v", "user", err)
 		return
+	}
+	var body []byte
+	if r.Method == http.MethodPost {
+		body, err = io.ReadAll(r.Body)
+		if err != nil {
+			g.writeError(w, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
 	}
 	shard := g.ring.Owner(user)
 	set := g.byName[shard]
@@ -196,10 +206,17 @@ func (g *Gateway) serveRead(w http.ResponseWriter, r *http.Request) {
 
 	var lastErr error
 	for i, ep := range g.candidates(set) {
-		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, ep+uri, nil)
+		var reqBody io.Reader
+		if body != nil {
+			reqBody = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, ep+uri, reqBody)
 		if err != nil {
 			lastErr = err
 			continue
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
 		}
 		resp, err := g.client.Do(req)
 		if err != nil {
@@ -219,7 +236,7 @@ func (g *Gateway) serveRead(w http.ResponseWriter, r *http.Request) {
 		if i > 0 {
 			g.met.failovers.Add(1)
 		}
-		for _, h := range []string{"Content-Type", "X-Cache", "Retry-After"} {
+		for _, h := range []string{"Content-Type", "X-Cache", "X-Model", "Retry-After"} {
 			if v := resp.Header.Get(h); v != "" {
 				w.Header().Set(h, v)
 			}

@@ -25,6 +25,9 @@ type shardMetricsDoc struct {
 	Explain struct {
 		Count int64 `json:"count"`
 	} `json:"explain"`
+	Next struct {
+		Count int64 `json:"count"`
+	} `json:"next"`
 	Observe struct {
 		Count int64 `json:"count"`
 	} `json:"observe"`
@@ -42,11 +45,45 @@ type shardMetricsDoc struct {
 		Failures         int64 `json:"failures"`
 		ChecksumRejected int64 `json:"checksum_rejected"`
 	} `json:"replication"`
+	Models  []shardModelDoc `json:"models"`
 	Windows *struct {
 		RecommendMs []float64 `json:"recommend_ms"`
 		ExplainMs   []float64 `json:"explain_ms"`
+		NextMs      []float64 `json:"next_ms"`
 		ObserveMs   []float64 `json:"observe_ms"`
 	} `json:"windows"`
+}
+
+// shardModelDoc is one entry of a shard's multi-model block, again mirroring
+// the wire contract instead of importing serve/registry types.
+type shardModelDoc struct {
+	Name         string `json:"name"`
+	Generation   uint64 `json:"generation"`
+	Requests     int64  `json:"requests"`
+	NextRequests int64  `json:"next_requests"`
+	CacheHits    int64  `json:"cache_hits"`
+	NotReady     int64  `json:"not_ready_503"`
+	Shadow       struct {
+		Scored       int64   `json:"scored"`
+		Errors       int64   `json:"errors"`
+		AgreementAvg float64 `json:"agreement_avg"`
+		ExactFrac    float64 `json:"exact_frac"`
+	} `json:"shadow"`
+}
+
+// mergedModel is one model's cluster-wide rollup: counters sum across
+// endpoints; shadow agreement fractions are weighted by each endpoint's
+// scored count so the merge equals the fraction over all scorings.
+type mergedModel struct {
+	Name         string  `json:"name"`
+	Requests     int64   `json:"requests"`
+	NextRequests int64   `json:"next_requests"`
+	CacheHits    int64   `json:"cache_hits"`
+	NotReady     int64   `json:"not_ready_503"`
+	ShadowScored int64   `json:"shadow_scored"`
+	ShadowErrors int64   `json:"shadow_errors"`
+	AgreementAvg float64 `json:"shadow_agreement_avg"`
+	ExactFrac    float64 `json:"shadow_exact_frac"`
 }
 
 // routeAgg is one request class merged across the cluster: summed counts and
@@ -67,6 +104,7 @@ type endpointMetrics struct {
 	Generation uint64 `json:"generation"`
 	Recommend  int64  `json:"recommend"`
 	Explain    int64  `json:"explain"`
+	Next       int64  `json:"next"`
 	Observe    int64  `json:"observe"`
 	Misrouted  int64  `json:"misrouted"`
 }
@@ -79,7 +117,10 @@ type clusterMetrics struct {
 
 	Recommend routeAgg `json:"recommend"`
 	Explain   routeAgg `json:"explain"`
+	Next      routeAgg `json:"next"`
 	Observe   routeAgg `json:"observe"`
+
+	Models []mergedModel `json:"models,omitempty"`
 
 	Totals struct {
 		BadRequests    int64 `json:"bad_requests"`
@@ -191,7 +232,9 @@ func (g *Gateway) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	var out clusterMetrics
 	out.Shards = len(g.sets)
 	out.Endpoints = len(results)
-	var recWin, expWin, obsWin []float64
+	var recWin, expWin, nextWin, obsWin []float64
+	modelAgg := make(map[string]*mergedModel)
+	modelWeight := make(map[string]struct{ agree, exact float64 })
 	for _, res := range results {
 		if res.err != nil {
 			out.Unreachable = append(out.Unreachable, res.ep.url)
@@ -200,7 +243,25 @@ func (g *Gateway) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		d := res.doc
 		out.Recommend.Count += d.Recommend.Count
 		out.Explain.Count += d.Explain.Count
+		out.Next.Count += d.Next.Count
 		out.Observe.Count += d.Observe.Count
+		for _, md := range d.Models {
+			mm, ok := modelAgg[md.Name]
+			if !ok {
+				mm = &mergedModel{Name: md.Name}
+				modelAgg[md.Name] = mm
+			}
+			mm.Requests += md.Requests
+			mm.NextRequests += md.NextRequests
+			mm.CacheHits += md.CacheHits
+			mm.NotReady += md.NotReady
+			mm.ShadowScored += md.Shadow.Scored
+			mm.ShadowErrors += md.Shadow.Errors
+			w := modelWeight[md.Name]
+			w.agree += md.Shadow.AgreementAvg * float64(md.Shadow.Scored)
+			w.exact += md.Shadow.ExactFrac * float64(md.Shadow.Scored)
+			modelWeight[md.Name] = w
+		}
 		out.Totals.BadRequests += d.BadRequests
 		out.Totals.Shed += d.Shed
 		out.Totals.DeadlineMissed += d.DeadlineMissed
@@ -214,6 +275,7 @@ func (g *Gateway) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		if d.Windows != nil {
 			recWin = append(recWin, d.Windows.RecommendMs...)
 			expWin = append(expWin, d.Windows.ExplainMs...)
+			nextWin = append(nextWin, d.Windows.NextMs...)
 			obsWin = append(obsWin, d.Windows.ObserveMs...)
 		}
 		out.PerEndpoint = append(out.PerEndpoint, endpointMetrics{
@@ -223,13 +285,29 @@ func (g *Gateway) serveMetrics(w http.ResponseWriter, r *http.Request) {
 			Generation: d.Snapshot.Generation,
 			Recommend:  d.Recommend.Count,
 			Explain:    d.Explain.Count,
+			Next:       d.Next.Count,
 			Observe:    d.Observe.Count,
 			Misrouted:  d.Shard.Misrouted,
 		})
 	}
 	out.Recommend.P50ms, out.Recommend.P95ms, out.Recommend.P99ms = percentiles(recWin)
 	out.Explain.P50ms, out.Explain.P95ms, out.Explain.P99ms = percentiles(expWin)
+	out.Next.P50ms, out.Next.P95ms, out.Next.P99ms = percentiles(nextWin)
 	out.Observe.P50ms, out.Observe.P95ms, out.Observe.P99ms = percentiles(obsWin)
+	names := make([]string, 0, len(modelAgg))
+	for name := range modelAgg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mm := modelAgg[name]
+		if mm.ShadowScored > 0 {
+			w := modelWeight[name]
+			mm.AgreementAvg = w.agree / float64(mm.ShadowScored)
+			mm.ExactFrac = w.exact / float64(mm.ShadowScored)
+		}
+		out.Models = append(out.Models, *mm)
+	}
 	out.Gateway.Requests = g.met.requests.Load()
 	out.Gateway.Failovers = g.met.failovers.Load()
 	out.Gateway.BackendErrors = g.met.backendErrors.Load()

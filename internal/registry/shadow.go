@@ -1,0 +1,59 @@
+package registry
+
+// ShadowGo runs fn on a shadow slot off the request path. It never blocks
+// the caller: when every slot is busy the scoring is dropped and counted
+// instead of queued, so shadow load cannot back up foreground requests. It
+// reports whether fn was scheduled.
+func (r *Registry) ShadowGo(fn func()) bool {
+	select {
+	case r.shadowSem <- struct{}{}:
+	default:
+		r.shadowDropped.Add(1)
+		return false
+	}
+	r.shadowWG.Add(1)
+	go func() {
+		defer func() {
+			<-r.shadowSem
+			r.shadowWG.Done()
+		}()
+		fn()
+	}()
+	return true
+}
+
+// DrainShadows blocks until every in-flight shadow scoring has finished.
+// Tests use it to read agreement counters deterministically; servers call it
+// on shutdown.
+func (r *Registry) DrainShadows() {
+	r.shadowWG.Wait()
+}
+
+// Overlap returns |a ∩ b| / len(a) over two POI id lists (the top-K overlap
+// agreement metric) and whether the sets match exactly. An empty primary
+// list compares as full agreement only against an empty shadow list.
+func Overlap(a, b []int) (float64, bool) {
+	if len(a) == 0 {
+		return boolToFloat(len(b) == 0), len(b) == 0
+	}
+	set := make(map[int]struct{}, len(a))
+	for _, p := range a {
+		set[p] = struct{}{}
+	}
+	var hit int
+	for _, p := range b {
+		if _, ok := set[p]; ok {
+			hit++
+		}
+	}
+	frac := float64(hit) / float64(len(a))
+	exact := hit == len(a) && len(b) == len(a)
+	return frac, exact
+}
+
+func boolToFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,230 @@
+package registry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// statsWindow bounds the per-model latency sample rings. Small relative to
+// the server-wide ring: per-model percentiles only need to be indicative.
+const statsWindow = 2048
+
+// entry is one registered model plus its serving counters. All fields are
+// updated with atomics or under the ring mutex, so recording is safe from any
+// request goroutine.
+type entry struct {
+	s Scorer
+
+	requests     atomic.Int64 // /v1/recommend responses served by this model
+	nextRequests atomic.Int64 // /v1/next responses served by this model
+	cacheHits    atomic.Int64
+	notReady     atomic.Int64 // requests answered 503 (model not fitted)
+
+	lat     sampleRing // recommend latencies
+	nextLat sampleRing // next latencies
+
+	shadowScored  atomic.Int64 // shadow scores completed for this model
+	shadowErrors  atomic.Int64
+	shadowOverlap atomic.Int64 // Σ top-K overlap, in millionths
+	shadowExact   atomic.Int64 // shadow top-K exactly matched primary
+}
+
+func newEntry(s Scorer) *entry { return &entry{s: s} }
+
+// sampleRing is a fixed-size mutex-guarded latency reservoir.
+type sampleRing struct {
+	mu      sync.Mutex
+	samples [statsWindow]float64
+	n       int
+	next    int
+}
+
+func (r *sampleRing) observe(ms float64) {
+	r.mu.Lock()
+	r.samples[r.next] = ms
+	r.next = (r.next + 1) % statsWindow
+	if r.n < statsWindow {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// percentiles returns (count, p50, p95, p99) over the retained window.
+func (r *sampleRing) percentiles() (int, float64, float64, float64) {
+	r.mu.Lock()
+	buf := make([]float64, r.n)
+	copy(buf, r.samples[:r.n])
+	r.mu.Unlock()
+	if len(buf) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Float64s(buf)
+	pick := func(p float64) float64 {
+		idx := int(math.Ceil(p*float64(len(buf)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(buf) {
+			idx = len(buf) - 1
+		}
+		return buf[idx]
+	}
+	return len(buf), pick(0.50), pick(0.95), pick(0.99)
+}
+
+// ShadowStats summarizes off-path scoring agreement for one model.
+type ShadowStats struct {
+	// Scored counts completed shadow scorings of this model.
+	Scored int64 `json:"scored"`
+	// Errors counts shadow scorings that failed (e.g. model not fitted).
+	Errors int64 `json:"errors,omitempty"`
+	// AgreementAvg is the mean top-K overlap fraction between the shadow's
+	// ranking and the primary response ([0,1]).
+	AgreementAvg float64 `json:"agreement_avg"`
+	// ExactFrac is the fraction of shadow scorings whose top-K POI sets
+	// matched the primary exactly.
+	ExactFrac float64 `json:"exact_frac"`
+}
+
+// ModelStats is the per-model metrics block exposed under /metrics.
+type ModelStats struct {
+	Name         string      `json:"name"`
+	Roles        []string    `json:"roles"`
+	Generation   uint64      `json:"generation"`
+	Requests     int64       `json:"requests"`
+	NextRequests int64       `json:"next_requests"`
+	CacheHits    int64       `json:"cache_hits"`
+	NotReady     int64       `json:"not_ready_503"`
+	P50ms        float64     `json:"p50_ms"`
+	P95ms        float64     `json:"p95_ms"`
+	P99ms        float64     `json:"p99_ms"`
+	NextP50ms    float64     `json:"next_p50_ms"`
+	NextP95ms    float64     `json:"next_p95_ms"`
+	NextP99ms    float64     `json:"next_p99_ms"`
+	Shadow       ShadowStats `json:"shadow"`
+}
+
+// RoutingInfo is the routing-policy block exposed under /metrics.
+type RoutingInfo struct {
+	Primary     string  `json:"primary"`
+	ABModel     string  `json:"ab_model,omitempty"`
+	ABFracB     float64 `json:"ab_frac_b,omitempty"`
+	Shadow      string  `json:"shadow,omitempty"`
+	NextDefault string  `json:"next_default,omitempty"`
+	// ShadowDropped counts shadow scorings skipped because all shadow
+	// slots were busy.
+	ShadowDropped int64 `json:"shadow_dropped,omitempty"`
+}
+
+// Stats snapshots per-model counters (registration order) and the routing
+// configuration.
+func (r *Registry) Stats() ([]ModelStats, RoutingInfo) {
+	out := make([]ModelStats, 0, len(r.order))
+	for _, name := range r.order {
+		e := r.entries[name]
+		ms := ModelStats{
+			Name:         name,
+			Roles:        r.rolesOf(name),
+			Generation:   e.s.Generation(),
+			Requests:     e.requests.Load(),
+			NextRequests: e.nextRequests.Load(),
+			CacheHits:    e.cacheHits.Load(),
+			NotReady:     e.notReady.Load(),
+		}
+		_, ms.P50ms, ms.P95ms, ms.P99ms = e.lat.percentiles()
+		_, ms.NextP50ms, ms.NextP95ms, ms.NextP99ms = e.nextLat.percentiles()
+		scored := e.shadowScored.Load()
+		ms.Shadow = ShadowStats{Scored: scored, Errors: e.shadowErrors.Load()}
+		if scored > 0 {
+			ms.Shadow.AgreementAvg = float64(e.shadowOverlap.Load()) / 1e6 / float64(scored)
+			ms.Shadow.ExactFrac = float64(e.shadowExact.Load()) / float64(scored)
+		}
+		out = append(out, ms)
+	}
+	info := RoutingInfo{
+		Primary:       r.primary,
+		ABModel:       r.abB,
+		ABFracB:       r.abFrac,
+		Shadow:        r.shadow,
+		NextDefault:   r.nextDef,
+		ShadowDropped: r.shadowDropped.Load(),
+	}
+	return out, info
+}
+
+func (r *Registry) rolesOf(name string) []string {
+	roles := []string{}
+	if name == r.primary {
+		roles = append(roles, "primary")
+	}
+	if name == r.abB {
+		roles = append(roles, "ab-b")
+	}
+	if name == r.shadow {
+		roles = append(roles, "shadow")
+	}
+	if name == r.nextDef {
+		roles = append(roles, "next-default")
+	}
+	if len(roles) == 0 {
+		roles = append(roles, "registered")
+	}
+	return roles
+}
+
+// RecordServe records one served response for the named model. next selects
+// the /v1/next counters, cacheHit marks responses answered from the response
+// cache (their latency is not recorded against the model — the model did not
+// score).
+func (r *Registry) RecordServe(name string, next, cacheHit bool, d time.Duration) {
+	e, ok := r.entries[name]
+	if !ok {
+		return
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	if next {
+		e.nextRequests.Add(1)
+	} else {
+		e.requests.Add(1)
+	}
+	if cacheHit {
+		e.cacheHits.Add(1)
+		return
+	}
+	if next {
+		e.nextLat.observe(ms)
+	} else {
+		e.lat.observe(ms)
+	}
+}
+
+// RecordNotReady records a 503 answered because the named model is unfitted.
+func (r *Registry) RecordNotReady(name string) {
+	if e, ok := r.entries[name]; ok {
+		e.notReady.Add(1)
+	}
+}
+
+// RecordShadow records one completed shadow scoring of the named model with
+// the given top-K overlap fraction against the primary response.
+func (r *Registry) RecordShadow(name string, overlap float64, exact bool) {
+	e, ok := r.entries[name]
+	if !ok {
+		return
+	}
+	e.shadowScored.Add(1)
+	e.shadowOverlap.Add(int64(overlap * 1e6))
+	if exact {
+		e.shadowExact.Add(1)
+	}
+}
+
+// RecordShadowError records a failed shadow scoring of the named model.
+func (r *Registry) RecordShadowError(name string) {
+	if e, ok := r.entries[name]; ok {
+		e.shadowErrors.Add(1)
+	}
+}

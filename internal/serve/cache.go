@@ -5,15 +5,20 @@ import (
 	"sync"
 )
 
-// cacheKey identifies one recommend response. The snapshot generation is part
-// of the key, so every snapshot swap implicitly invalidates all cached
+// cacheKey identifies one recommend or next response. The routed model name
+// and its generation are part of the key, so responses from different models
+// never collide and every snapshot swap implicitly invalidates all cached
 // entries — a stale generation can never be served. The server additionally
 // purges on swap so dead entries release memory immediately instead of aging
-// out of the LRU.
+// out of the LRU. For /v1/next, seq holds the exact canonicalized check-in
+// sequence ("poi:t;…"): keying on the full sequence rather than a hash rules
+// out collisions serving a wrong cached body.
 type cacheKey struct {
+	model   string
 	gen     uint64
 	user, t int
 	n       int
+	seq     string
 }
 
 // lruCache is a small mutex-guarded LRU over marshaled response bodies.

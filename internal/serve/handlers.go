@@ -8,14 +8,17 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"tcss/internal/core"
 	"tcss/internal/lbsn"
+	"tcss/internal/registry"
 )
 
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/recommend", s.serveRecommend)
+	mux.HandleFunc("POST /v1/next", s.serveNext)
 	mux.HandleFunc("GET /v1/explain", s.serveExplain)
 	mux.HandleFunc("POST /v1/observe", s.serveObserve)
 	mux.HandleFunc("POST /v1/snapshot/save", s.serveSnapshotSave)
@@ -79,6 +82,70 @@ func (s *Server) degraded(w http.ResponseWriter, err error) {
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+}
+
+// routeError maps registry routing/scoring sentinels to HTTP statuses: an
+// unknown ?model= name (or a /v1/next with nothing to route to) is 404, a
+// model that cannot score sequences is 400, and a registered-but-unfitted
+// model is 503 — the model exists, it just cannot answer yet.
+func (s *Server) routeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, registry.ErrUnknownModel), errors.Is(err, registry.ErrNoNextModel):
+		s.met.modelNotFound.Add(1)
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+	case errors.Is(err, registry.ErrNotNextCapable):
+		s.met.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	case errors.Is(err, registry.ErrNotReady):
+		s.met.modelNotReady.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.opts.RetryAfter.Seconds()))))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		s.met.internalErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+// spawnShadow schedules an off-path scoring of the shadow model named in the
+// decision and records its top-K overlap against the primary's results. It
+// runs after the primary response bytes are already on the wire (or at least
+// fully computed), never writes to the ResponseWriter, and copies what it
+// needs from the request — by construction it cannot alter the primary
+// response. Slots are bounded; overflow is dropped and counted.
+func (s *Server) spawnShadow(dec registry.Decision, next bool, user int, seq []registry.Event, t, n int, primary []core.Recommendation) {
+	sc, ok := s.reg.Get(dec.Shadow)
+	if !ok {
+		return
+	}
+	pois := make([]int, len(primary))
+	for i, rec := range primary {
+		pois[i] = rec.POI
+	}
+	name := dec.Shadow
+	s.reg.ShadowGo(func() {
+		var recs []core.Recommendation
+		var err error
+		if next {
+			ns, isNext := sc.(registry.NextScorer)
+			if !isNext {
+				s.reg.RecordShadowError(name)
+				return
+			}
+			recs, _, err = ns.Next(user, seq, t, n)
+		} else {
+			recs, _, err = sc.Recommend(user, t, n)
+		}
+		if err != nil {
+			s.reg.RecordShadowError(name)
+			return
+		}
+		shadowPOIs := make([]int, len(recs))
+		for i, rec := range recs {
+			shadowPOIs[i] = rec.POI
+		}
+		frac, exact := registry.Overlap(pois, shadowPOIs)
+		s.reg.RecordShadow(name, frac, exact)
+	})
 }
 
 // intParam parses a required (or defaulted) integer query parameter.
@@ -179,13 +246,25 @@ func (s *Server) serveRecommend(w http.ResponseWriter, r *http.Request) {
 		n = s.opts.MaxTopN
 	}
 
-	key := cacheKey{gen: snap.Gen, user: user, t: t, n: n}
+	// Routing: explicit ?model= override, else the registry's policy
+	// (primary, or the deterministic A/B split when configured).
+	dec, err := s.reg.Route(user, r.URL.Query().Get("model"))
+	if err != nil {
+		s.routeError(w, err)
+		return
+	}
+	scorer, _ := s.reg.Get(dec.Model)
+
+	key := cacheKey{model: dec.Model, gen: scorer.Generation(), user: user, t: t, n: n}
 	if body := s.cache.get(key); body != nil {
 		s.met.cacheHits.Add(1)
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", "HIT")
+		w.Header().Set("X-Model", dec.Model)
 		w.Write(body)
-		s.met.recommendLat.observe(s.opts.now().Sub(started))
+		dur := s.opts.now().Sub(started)
+		s.met.recommendLat.observe(dur)
+		s.reg.RecordServe(dec.Model, false, true, dur)
 		return
 	}
 	s.met.cacheMisses.Add(1)
@@ -194,21 +273,15 @@ func (s *Server) serveRecommend(w http.ResponseWriter, r *http.Request) {
 	if release == nil {
 		return
 	}
-	var recs []core.Recommendation
-	gen := snap.Gen
-	if s.coal != nil {
-		// Coalesced path: join the pending batch; the response is consistent
-		// with the snapshot the batch executed on, whose generation it
-		// reports (and the cache entry below is keyed on).
-		var esnap *Snapshot
-		recs, esnap = s.coal.do(user, t, n)
-		gen = esnap.Gen
-	} else {
-		sc := s.getScratch()
-		recs = snap.Model.TopNScratch(user, t, n, snap.Side.OwnPOIs[user], sc)
-		s.putScratch(sc)
-	}
+	recs, gen, err := scorer.Recommend(user, t, n)
 	release()
+	if err != nil {
+		if errors.Is(err, registry.ErrNotReady) {
+			s.reg.RecordNotReady(dec.Model)
+		}
+		s.routeError(w, err)
+		return
+	}
 
 	resp := recommendResponse{
 		User: user, T: t, Generation: gen,
@@ -224,11 +297,203 @@ func (s *Server) serveRecommend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body = append(body, '\n')
-	s.cache.put(cacheKey{gen: gen, user: user, t: t, n: n}, body)
+	s.cache.put(cacheKey{model: dec.Model, gen: gen, user: user, t: t, n: n}, body)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", "MISS")
+	w.Header().Set("X-Model", dec.Model)
 	w.Write(body)
-	s.met.recommendLat.observe(s.opts.now().Sub(started))
+	dur := s.opts.now().Sub(started)
+	s.met.recommendLat.observe(dur)
+	s.reg.RecordServe(dec.Model, false, false, dur)
+
+	// Shadow scoring runs strictly after the primary bytes are written and
+	// over copies of the inputs; it can only touch registry counters.
+	if dec.Shadow != "" {
+		s.spawnShadow(dec, false, user, nil, t, n, recs)
+	}
+}
+
+// maxNextSeq bounds the check-in sequence length of one /v1/next request:
+// long enough for any realistic recent history, short enough that a single
+// request cannot monopolize a scoring slot rolling an unbounded recurrence.
+const maxNextSeq = 512
+
+// nextRequest is the body of POST /v1/next: the user's recent check-ins in
+// ascending time order.
+type nextRequest struct {
+	CheckIns []nextCheckIn `json:"checkins"`
+}
+
+type nextCheckIn struct {
+	POI int `json:"poi"`
+	T   int `json:"t"`
+}
+
+// nextResponse is the body of POST /v1/next. Like recommendResponse it
+// carries no volatile fields, so cached bytes are byte-identical to freshly
+// computed ones. Model is part of the body here (unlike /v1/recommend, which
+// reports it in the X-Model header only, keeping its pre-registry bytes).
+type nextResponse struct {
+	User       int              `json:"user"`
+	T          int              `json:"t"`
+	Model      string           `json:"model"`
+	Generation uint64           `json:"generation"`
+	Results    []recommendation `json:"results"`
+}
+
+// seqCacheString canonicalizes a check-in sequence for the cache key.
+func seqCacheString(checkIns []nextCheckIn) string {
+	var b strings.Builder
+	for _, c := range checkIns {
+		b.WriteString(strconv.Itoa(c.POI))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(c.T))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// serveNext scores the next POI after a posted check-in sequence with the
+// routed sequential model. Admission, deadline, caching, and metrics match
+// /v1/recommend; the target time t defaults to the last check-in's time unit.
+func (s *Server) serveNext(w http.ResponseWriter, r *http.Request) {
+	started := s.opts.now()
+	s.met.nextTotal.Add(1)
+
+	snap := s.snap.load()
+	user, err := intParam(r, "user", 0, true)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	t, err := intParam(r, "t", -1, false)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	n, err := intParam(r, "n", s.opts.TopNDefault, false)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	var req nextRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.badRequest(w, "decoding body: %v", err)
+		return
+	}
+	if len(req.CheckIns) == 0 {
+		s.badRequest(w, "no checkins in request")
+		return
+	}
+	if len(req.CheckIns) > maxNextSeq {
+		s.badRequest(w, "%d checkins exceed the limit of %d", len(req.CheckIns), maxNextSeq)
+		return
+	}
+	if user < 0 || user >= snap.Model.I {
+		s.badRequest(w, "user %d out of range [0, %d)", user, snap.Model.I)
+		return
+	}
+	if !s.owns(user) {
+		s.misroute(w, "user %d is not in shard %q's partition", user, s.opts.ShardName)
+		return
+	}
+	for i, c := range req.CheckIns {
+		if c.POI < 0 || c.POI >= snap.Model.J {
+			s.badRequest(w, "checkin %d: poi %d out of range [0, %d)", i, c.POI, snap.Model.J)
+			return
+		}
+		if c.T < 0 || c.T >= snap.Model.K {
+			s.badRequest(w, "checkin %d: t %d out of range [0, %d)", i, c.T, snap.Model.K)
+			return
+		}
+	}
+	if r.URL.Query().Get("t") == "" {
+		t = req.CheckIns[len(req.CheckIns)-1].T
+	}
+	if t < 0 || t >= snap.Model.K {
+		s.badRequest(w, "t %d out of range [0, %d)", t, snap.Model.K)
+		return
+	}
+	if n <= 0 {
+		s.badRequest(w, "n must be positive, got %d", n)
+		return
+	}
+	if n > s.opts.MaxTopN {
+		n = s.opts.MaxTopN
+	}
+
+	dec, err := s.reg.RouteNext(user, r.URL.Query().Get("model"))
+	if err != nil {
+		s.routeError(w, err)
+		return
+	}
+	scorer, _ := s.reg.Get(dec.Model)
+	next, ok := scorer.(registry.NextScorer)
+	if !ok { // unreachable: RouteNext only routes to NextScorers
+		s.routeError(w, fmt.Errorf("%w: %q", registry.ErrNotNextCapable, dec.Model))
+		return
+	}
+
+	seqStr := seqCacheString(req.CheckIns)
+	key := cacheKey{model: dec.Model, gen: scorer.Generation(), user: user, t: t, n: n, seq: seqStr}
+	if body := s.cache.get(key); body != nil {
+		s.met.cacheHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "HIT")
+		w.Header().Set("X-Model", dec.Model)
+		w.Write(body)
+		dur := s.opts.now().Sub(started)
+		s.met.nextLat.observe(dur)
+		s.reg.RecordServe(dec.Model, true, true, dur)
+		return
+	}
+	s.met.cacheMisses.Add(1)
+
+	seq := make([]registry.Event, len(req.CheckIns))
+	for i, c := range req.CheckIns {
+		seq[i] = registry.Event{POI: c.POI, T: c.T}
+	}
+
+	_, release := s.admitRead(w, r)
+	if release == nil {
+		return
+	}
+	recs, gen, err := next.Next(user, seq, t, n)
+	release()
+	if err != nil {
+		if errors.Is(err, registry.ErrNotReady) {
+			s.reg.RecordNotReady(dec.Model)
+		}
+		s.routeError(w, err)
+		return
+	}
+
+	resp := nextResponse{
+		User: user, T: t, Model: dec.Model, Generation: gen,
+		Results: make([]recommendation, len(recs)),
+	}
+	for i, rec := range recs {
+		resp.Results[i] = recommendation{POI: rec.POI, Score: rec.Score}
+	}
+	body, err := json.Marshal(&resp)
+	if err != nil {
+		s.met.internalErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	body = append(body, '\n')
+	s.cache.put(cacheKey{model: dec.Model, gen: gen, user: user, t: t, n: n, seq: seqStr}, body)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "MISS")
+	w.Header().Set("X-Model", dec.Model)
+	w.Write(body)
+	dur := s.opts.now().Sub(started)
+	s.met.nextLat.observe(dur)
+	s.reg.RecordServe(dec.Model, true, false, dur)
+
+	if dec.Shadow != "" {
+		s.spawnShadow(dec, true, user, seq, t, n, recs)
+	}
 }
 
 // explainResponse mirrors core.Explanation with JSON-safe distances: +Inf

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tcss/internal/registry"
 )
 
 // latencyRing keeps the last ringSize request latencies per request class and
@@ -70,8 +72,12 @@ type metrics struct {
 	start time.Time
 
 	recommendTotal atomic.Int64
+	nextTotal      atomic.Int64
 	explainTotal   atomic.Int64
 	observeTotal   atomic.Int64
+
+	modelNotFound atomic.Int64 // 404s from unknown ?model= names
+	modelNotReady atomic.Int64 // 503s from registered-but-unfitted models
 
 	badRequest     atomic.Int64 // 400s
 	shed           atomic.Int64 // 503s from admission or observe queue
@@ -115,6 +121,7 @@ type metrics struct {
 	replicationCRC     atomic.Int64
 
 	recommendLat latencyRing
+	nextLat      latencyRing
 	explainLat   latencyRing
 	observeLat   latencyRing
 }
@@ -139,6 +146,7 @@ type routeStats struct {
 // gateway merges these across shards; plain scrapes omit the block.
 type latencyWindows struct {
 	RecommendMs []float64 `json:"recommend_ms"`
+	NextMs      []float64 `json:"next_ms"`
 	ExplainMs   []float64 `json:"explain_ms"`
 	ObserveMs   []float64 `json:"observe_ms"`
 }
@@ -156,6 +164,7 @@ type metricsSnapshot struct {
 	} `json:"shard"`
 
 	Recommend routeStats `json:"recommend"`
+	Next      routeStats `json:"next"`
 	Explain   routeStats `json:"explain"`
 	Observe   routeStats `json:"observe"`
 
@@ -163,6 +172,15 @@ type metricsSnapshot struct {
 	Shed           int64 `json:"shed_503"`
 	DeadlineMissed int64 `json:"deadline_504"`
 	InternalErrors int64 `json:"internal_500"`
+	ModelNotFound  int64 `json:"model_404"`
+	ModelNotReady  int64 `json:"model_not_ready_503"`
+
+	// Routing and Models are the multi-model serving blocks: the active
+	// routing policy (primary, A/B split, shadow) and one stats block per
+	// registered model (req/s inputs, latency percentiles, cache hits,
+	// shadow agreement).
+	Routing registry.RoutingInfo  `json:"routing"`
+	Models  []registry.ModelStats `json:"models"`
 
 	Cache struct {
 		Hits    int64   `json:"hits"`
@@ -258,8 +276,11 @@ func (s *Server) collectMetrics(includeWindows bool) metricsSnapshot {
 		dst.P50ms, dst.P95ms, dst.P99ms = ring.percentiles()
 	}
 	fill(&out.Recommend, &m.recommendTotal, &m.recommendLat)
+	fill(&out.Next, &m.nextTotal, &m.nextLat)
 	fill(&out.Explain, &m.explainTotal, &m.explainLat)
 	fill(&out.Observe, &m.observeTotal, &m.observeLat)
+
+	out.Models, out.Routing = s.reg.Stats()
 
 	out.Shard.Name = s.opts.ShardName
 	out.Shard.Role = s.opts.Role
@@ -274,6 +295,7 @@ func (s *Server) collectMetrics(includeWindows bool) metricsSnapshot {
 	if includeWindows {
 		out.Windows = &latencyWindows{
 			RecommendMs: m.recommendLat.window(),
+			NextMs:      m.nextLat.window(),
 			ExplainMs:   m.explainLat.window(),
 			ObserveMs:   m.observeLat.window(),
 		}
@@ -283,6 +305,8 @@ func (s *Server) collectMetrics(includeWindows bool) metricsSnapshot {
 	out.Shed = m.shed.Load()
 	out.DeadlineMissed = m.deadlineMissed.Load()
 	out.InternalErrors = m.internalErrors.Load()
+	out.ModelNotFound = m.modelNotFound.Load()
+	out.ModelNotReady = m.modelNotReady.Load()
 
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
 	out.Cache.Hits, out.Cache.Misses = hits, misses

@@ -38,6 +38,7 @@ import (
 	"tcss/internal/core"
 	"tcss/internal/fault"
 	"tcss/internal/lbsn"
+	"tcss/internal/registry"
 )
 
 // Options configures a Server. The zero value is usable: every field falls
@@ -79,6 +80,21 @@ type Options struct {
 
 	// Online configures the incremental model update per observe batch.
 	Online tcss.OnlineConfig
+
+	// Registry, when non-nil, is the multi-model registry the read path
+	// routes through: extra models (sequential scorers) registered on it are
+	// servable via ?model= overrides, A/B splits, and shadow scoring, and
+	// /v1/next routes to its next-capable models. The server registers its
+	// own snapshot adapter as the registry's primary model and finalizes the
+	// registry during construction — register secondary models and set
+	// routing policies (SetAB/SetShadow) before NewFromSource. Nil gets a
+	// fresh single-model registry, which behaves exactly like the
+	// pre-registry server.
+	Registry *registry.Registry
+
+	// ModelName is the registry name of the server's own TCSS snapshot
+	// model; default "tcss".
+	ModelName string
 
 	// SnapshotPath, when set, enables POST /v1/snapshot/save, which persists
 	// the current model (with its generation) there via the versioned format.
@@ -285,6 +301,7 @@ type Server struct {
 	src Source
 
 	snap  holder
+	reg   *registry.Registry
 	coal  *coalescer // nil unless Options.Coalesce
 	cache *lruCache
 	met   *metrics
@@ -354,6 +371,22 @@ func NewFromSource(src Source, opts Options) (*Server, error) {
 	if opts.Coalesce {
 		s.coal = newCoalescer(s, opts.CoalesceWindow, opts.CoalesceBatch)
 	}
+	s.reg = opts.Registry
+	if s.reg == nil {
+		s.reg = registry.New()
+	}
+	name := opts.ModelName
+	if name == "" {
+		name = "tcss"
+	}
+	if err := s.reg.RegisterPrimary(&snapshotScorer{s: s, name: name}); err != nil {
+		close(s.quit)
+		return nil, err
+	}
+	if err := s.reg.Finalize(); err != nil {
+		close(s.quit)
+		return nil, err
+	}
 	s.mux = s.routes()
 	s.wg.Add(1)
 	go s.writerLoop()
@@ -375,6 +408,7 @@ func (s *Server) Generation() uint64 { return s.snap.load().Gen }
 func (s *Server) Close() {
 	s.quitOnce.Do(func() { close(s.quit) })
 	s.wg.Wait()
+	s.reg.DrainShadows()
 }
 
 // Shutdown stops the server gracefully: new write requests are shed with 503
@@ -394,6 +428,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.reg.DrainShadows()
 		return nil
 	case <-ctx.Done():
 		s.quitOnce.Do(func() { close(s.quit) })
