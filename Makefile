@@ -7,7 +7,7 @@ KERNEL_BENCH = 'BenchmarkLoss(Naive|NegSampling|Rewritten)$$|BenchmarkLossRewrit
 
 .PHONY: build test race vet bench bench-all check gradcheck fuzz golden-update \
 	serve loadgen serve-bench serve-smoke resume-smoke crash-smoke bench-pr4 \
-	quant-smoke bench-pr6 cluster-smoke bench-pr7 ab-smoke
+	quant-smoke bench-pr6 cluster-smoke bench-pr7 ab-smoke drift-smoke bench-pr9
 
 build:
 	$(GO) build ./...
@@ -165,6 +165,43 @@ ab-smoke:
 	test $$status -eq 0 || { echo "ab-smoke: loadgen failed ($$status)"; exit 1; }
 	test -s $(AB_DIR)/strnn.state || { echo "ab-smoke: no saved STRNN state"; exit 1; }
 	@echo "ab-smoke: A/B split + shadow served a mixed recommend/next workload, all checks passed"
+
+# Open-world drift smoke: train and serve a growth-enabled node, generate a
+# 2-week drift stream (new-user arrivals, POI openings, seasonally shifted
+# check-ins) and feed it through /v1/observe with `tcss replay -url`, scoring
+# each week's novel check-ins before folding them in. Fails unless every
+# weekly batch applies (arrivals rejected = replay exits nonzero) and the
+# /metrics growth counters show the model grew past its trained dimensions.
+DRIFT_DIR ?= /tmp/tcss_drift_smoke
+DRIFT_ADDR ?= 127.0.0.1:18095
+drift-smoke:
+	rm -rf $(DRIFT_DIR) && mkdir -p $(DRIFT_DIR)
+	$(GO) build -o $(DRIFT_DIR)/tcss ./cmd/tcss
+	$(DRIFT_DIR)/tcss serve -preset gmu-5k -epochs 40 -grow -half-life 64 \
+		-addr $(DRIFT_ADDR) & \
+	pid=$$!; \
+	up=0; for i in $$(seq 1 150); do \
+		curl -fsS http://$(DRIFT_ADDR)/healthz >/dev/null 2>&1 && { up=1; break; }; \
+		sleep 0.2; \
+	done; \
+	test $$up -eq 1 || { echo "drift-smoke: server never became healthy"; kill $$pid; exit 1; }; \
+	$(DRIFT_DIR)/tcss replay -preset gmu-5k -weeks 2 -url http://$(DRIFT_ADDR) \
+		-out $(DRIFT_DIR)/drift_smoke.json; status=$$?; \
+	curl -fsS http://$(DRIFT_ADDR)/metrics > $(DRIFT_DIR)/metrics.json 2>/dev/null; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	test $$status -eq 0 || { echo "drift-smoke: replay failed ($$status)"; exit 1; }; \
+	gu=$$(grep -o '"observe_grown_users": *[0-9]*' $(DRIFT_DIR)/metrics.json | grep -o '[0-9]*$$'); \
+	gp=$$(grep -o '"observe_grown_pois": *[0-9]*' $(DRIFT_DIR)/metrics.json | grep -o '[0-9]*$$'); \
+	{ test -n "$$gu" && test "$$gu" -gt 0 && test -n "$$gp" && test "$$gp" -gt 0; } \
+		|| { echo "drift-smoke: model never grew (grown users=$$gu pois=$$gp)"; exit 1; }
+	@echo "drift-smoke: 2-week drift stream grew the model through /v1/observe, replay OK"
+
+# The PR 9 open-world benchmark: an 8-week drift replay on the small preset
+# with warm growth-init vs the random-init ablation; the trajectory document
+# lands in BENCH_PR9.json (cold-start NDCG@10 must favor warm).
+bench-pr9:
+	$(GO) run ./cmd/tcss replay -preset gmu-5k -weeks 8 -new-users 6 \
+		-epochs 40 -online-epochs 2 -compare-random -out BENCH_PR9.json
 
 # The PR 6 compact-serving benchmark: the TopN batch-vs-scratch kernel
 # comparison, then HTTP-level closed-loop runs with the response cache off —

@@ -1,15 +1,21 @@
 // Command datagen synthesizes an LBSN dataset from one of the paper presets
-// (gowalla, yelp, foursquare, gmu-5k) and writes it as CSV files.
+// (gowalla, yelp, foursquare, gmu-5k) and writes it as CSV files. With
+// -drift-weeks it additionally emits a deterministic open-world stream —
+// weekly batches of new-user arrivals, POI openings/closures and seasonally
+// drifting check-ins — as JSON lines next to the base dataset, the input
+// format of `tcss replay` and loadgen's -drift mode.
 //
 // Usage:
 //
 //	datagen -preset gowalla -seed 42 -out ./data/gowalla [-users 360 -pois 800]
+//	datagen -preset gmu-5k -out ./data/drift -drift-weeks 6 [-drift-new-users 3]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"tcss/internal/lbsn"
 )
@@ -21,6 +27,13 @@ func main() {
 		out    = flag.String("out", "", "output directory (required)")
 		users  = flag.Int("users", 0, "override the preset's user count")
 		pois   = flag.Int("pois", 0, "override the preset's POI count")
+
+		driftWeeks     = flag.Int("drift-weeks", 0, "also emit an open-world drift stream of this many weeks as <out>/drift.jsonl")
+		driftStart     = flag.Int("drift-start-week", 14, "week-of-year the drift stream starts at")
+		driftNewUsers  = flag.Float64("drift-new-users", 3, "mean new-user arrivals per drift week")
+		driftNewPOIs   = flag.Float64("drift-new-pois", 2, "mean POI openings per drift week")
+		driftCloseProb = flag.Float64("drift-close-prob", 0.01, "per-POI weekly closing probability")
+		driftSeed      = flag.Int64("drift-seed", 0, "drift stream seed (0 = seed+1)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -39,10 +52,32 @@ func main() {
 	if *pois > 0 {
 		cfg.POIs = *pois
 	}
-	ds, err := lbsn.Generate(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "datagen:", err)
-		os.Exit(1)
+
+	var (
+		ds    *lbsn.Dataset
+		weeks []lbsn.WeekBatch
+	)
+	if *driftWeeks > 0 {
+		d, err := lbsn.GenerateDrift(lbsn.DriftConfig{
+			Base:             cfg,
+			Weeks:            *driftWeeks,
+			StartWeek:        *driftStart,
+			NewUsersPerWeek:  *driftNewUsers,
+			NewPOIsPerWeek:   *driftNewPOIs,
+			CloseProbPerWeek: *driftCloseProb,
+			Seed:             *driftSeed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		ds, weeks = d.Base, d.Weeks
+	} else {
+		ds, err = lbsn.Generate(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
 	}
 	if err := ds.WriteDir(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
@@ -53,4 +88,21 @@ func main() {
 	fmt.Printf("users=%d pois=%d check-ins=%d friendships=%d\n", s.Users, s.POIs, s.CheckIns, s.Edges)
 	fmt.Printf("month-tensor density=%.4f%% mean check-ins/user=%.1f mean degree=%.1f\n",
 		100*s.TensorDensityMonth, s.MeanCheckInsPerUser, s.MeanDegree)
+
+	if len(weeks) > 0 {
+		path := filepath.Join(*out, "drift.jsonl")
+		if err := lbsn.WriteWeeksJSONLFile(path, weeks); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		var arrivals, openings, closures, checkIns int
+		for _, wb := range weeks {
+			arrivals += len(wb.NewUsers)
+			openings += len(wb.NewPOIs)
+			closures += len(wb.ClosedPOIs)
+			checkIns += len(wb.CheckIns)
+		}
+		fmt.Printf("drift stream: %d weeks to %s (new users=%d, POI openings=%d, closures=%d, check-ins=%d)\n",
+			len(weeks), path, arrivals, openings, closures, checkIns)
+	}
 }

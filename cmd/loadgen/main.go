@@ -11,8 +11,11 @@
 //
 // A fraction of requests (-observe-frac) are POST /v1/observe batches with a
 // random check-in, exercising the snapshot-swap path and cache invalidation
-// under read load. Results (throughput, client-side percentiles, error
-// counts, server-side /metrics scrape) are written as JSON to -out.
+// under read load. With -drift, an open-world stream (datagen -drift-weeks)
+// is additionally fed through /v1/observe week by week while reads run, so
+// the served model grows — new users, new POIs — under live traffic. Results
+// (throughput, client-side percentiles, error counts, server-side /metrics
+// scrape) are written as JSON to -out.
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 	"tcss"
 	"tcss/internal/core"
 	"tcss/internal/lbsn"
+	"tcss/internal/replay"
 	"tcss/internal/serve"
 )
 
@@ -70,6 +74,9 @@ type options struct {
 
 	requireModels string
 	requireShadow bool
+
+	drift         string
+	driftInterval time.Duration
 }
 
 // sample is one completed request, classified for aggregation. status and ms
@@ -115,6 +122,8 @@ func main() {
 	flag.IntVar(&o.synthRank, "synth-rank", 8, "synthetic model embedding rank for -verify")
 	flag.StringVar(&o.requireModels, "require-models", "", "comma-separated model names that must show served traffic in the target's /metrics (exit nonzero otherwise)")
 	flag.BoolVar(&o.requireShadow, "require-shadow", false, "require the target's /metrics to show completed shadow scoring (exit nonzero otherwise)")
+	flag.StringVar(&o.drift, "drift", "", "open-world traffic: feed this drift stream (JSONL from datagen -drift-weeks) through /v1/observe while the read load runs; self-hosting enables growth")
+	flag.DurationVar(&o.driftInterval, "drift-interval", 0, "pause between drift week batches (0 = spread evenly over -duration)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -155,6 +164,8 @@ func run(o options) (err error) {
 			return fmt.Errorf("-verify requires -url (the target must serve the synthetic model)")
 		case o.observeFrac != 0:
 			return fmt.Errorf("-verify requires -observe-frac 0 (observes would advance the served model past the local copy)")
+		case o.drift != "":
+			return fmt.Errorf("-verify is incompatible with -drift (growth advances the served model past the local copy)")
 		case o.pois <= 0:
 			return fmt.Errorf("-verify requires -pois (the synthetic model's POI count)")
 		}
@@ -190,6 +201,49 @@ func run(o options) (err error) {
 	}
 	fmt.Printf(", observe-frac %g)\n", o.observeFrac)
 
+	// Open-world feed: one goroutine walks the drift stream's weekly batches
+	// through /v1/observe while the read load runs, growing the served model
+	// in place. Reads racing the growth are the point of the exercise.
+	var (
+		driftRep *driftReport
+		driftWG  sync.WaitGroup
+	)
+	if o.drift != "" {
+		weeks, err := lbsn.ReadWeeksJSONLFile(o.drift)
+		if err != nil {
+			return err
+		}
+		driftRep = &driftReport{WeeksTotal: len(weeks)}
+		target := &replay.HTTPTarget{BaseURL: base, Client: client}
+		if u, p, err := target.Dims(); err == nil {
+			driftRep.UsersBefore, driftRep.POIsBefore = u, p
+		}
+		interval := o.driftInterval
+		if interval <= 0 && len(weeks) > 0 {
+			interval = o.duration / time.Duration(len(weeks)+1)
+		}
+		deadline := time.Now().Add(o.duration)
+		fmt.Printf("loadgen: drift feed %s (%d weeks, one per %s)\n", o.drift, len(weeks), interval)
+		driftWG.Add(1)
+		go func() {
+			defer driftWG.Done()
+			for _, wb := range weeks {
+				if time.Now().After(deadline) {
+					return
+				}
+				if _, err := target.ObserveWeek(wb); err != nil {
+					driftRep.Errors++
+					if driftRep.FirstError == "" {
+						driftRep.FirstError = err.Error()
+					}
+				} else {
+					driftRep.WeeksApplied++
+				}
+				time.Sleep(interval)
+			}
+		}()
+	}
+
 	start := time.Now()
 	if o.rate > 0 {
 		runOpenLoop(o, base, client, results)
@@ -197,11 +251,18 @@ func run(o options) (err error) {
 		runClosedLoop(o, base, client, results)
 	}
 	elapsed := time.Since(start)
+	driftWG.Wait()
 	close(results)
 	<-collectDone
 
 	report := agg.report(o, elapsed)
 	report.Server = scrapeMetrics(client, base)
+	if driftRep != nil {
+		if u, p, err := (&replay.HTTPTarget{BaseURL: base, Client: client}).Dims(); err == nil {
+			driftRep.UsersAfter, driftRep.POIsAfter = u, p
+		}
+		report.Drift = driftRep
+	}
 	if o.ver != nil {
 		o.ver.mu.Lock()
 		report.Verify = &verifyReport{
@@ -241,6 +302,12 @@ func run(o options) (err error) {
 			fmt.Printf("model %s: %d recommends (p99 %.3fms), %d nexts (p99 %.3fms)\n",
 				name, cs.Recommends, cs.P99ms, cs.Nexts, cs.NextP99ms)
 		}
+	}
+	if report.Drift != nil {
+		d := report.Drift
+		fmt.Printf("drift: %d/%d weeks applied (%d errors), model %dx%d -> %dx%d\n",
+			d.WeeksApplied, d.WeeksTotal, d.Errors,
+			d.UsersBefore, d.POIsBefore, d.UsersAfter, d.POIsAfter)
 	}
 	fmt.Printf("observe: %d ok, %d shed; errors: %d shed_503, %d deadline_504, %d other\n",
 		report.Observe.OK, report.Observe.Shed,
@@ -415,6 +482,8 @@ func selfHost(o *options) (string, func(), error) {
 		Coalesce:       o.coalesce,
 		CoalesceWindow: o.coalesceWin,
 		CoalesceBatch:  o.coalesceBatch,
+		// An open-world drift feed needs the observe path to grow the model.
+		Grow: o.drift != "",
 	}
 	if o.noCache {
 		opts.CacheSize = -1
@@ -794,7 +863,21 @@ type benchReport struct {
 		Other       int `json:"other"`
 	} `json:"errors"`
 	Verify *verifyReport   `json:"verify,omitempty"`
+	Drift  *driftReport    `json:"drift,omitempty"`
 	Server json.RawMessage `json:"server_metrics,omitempty"`
+}
+
+// driftReport summarizes the open-world feed of -drift: how much of the
+// stream was applied during the run and how far the served model grew.
+type driftReport struct {
+	WeeksTotal   int    `json:"weeks_total"`
+	WeeksApplied int    `json:"weeks_applied"`
+	Errors       int    `json:"errors"`
+	FirstError   string `json:"first_error,omitempty"`
+	UsersBefore  int    `json:"users_before"`
+	POIsBefore   int    `json:"pois_before"`
+	UsersAfter   int    `json:"users_after"`
+	POIsAfter    int    `json:"pois_after"`
 }
 
 // clientModelStats is the per-routed-model block of the report, keyed by the

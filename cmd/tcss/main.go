@@ -17,6 +17,12 @@
 //
 //	tcss serve -preset gowalla -addr :8080       # train, then serve /v1/*
 //	tcss serve -model model.json -preset gowalla # serve a saved model
+//
+// The replay subcommand evaluates open-world continuous learning by feeding
+// a streaming drift scenario through the online observe path week by week:
+//
+//	tcss replay -preset gmu-5k -weeks 6 -compare-random -out BENCH_PR9.json
+//	tcss replay -preset gmu-5k -weeks 2 -url http://127.0.0.1:8080
 package main
 
 import (
@@ -34,6 +40,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		serveMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "replay" {
+		replayMain(os.Args[2:])
 		return
 	}
 	var (

@@ -64,6 +64,8 @@ Flags:
 		maxQueue    = fs.Int("max-queue", -1, "admission wait queue length (-1 = server default)")
 		timeout     = fs.Duration("timeout", 0, "per-request deadline (0 = server default)")
 		onlineEp    = fs.Int("online-epochs", 0, "SGD epochs per observe batch (0 = default)")
+		grow        = fs.Bool("grow", false, "open-world mode: /v1/observe accepts new_users/new_pois and check-ins beyond the trained dimensions, growing the model in place")
+		halfLife    = fs.Float64("half-life", 0, "check-in decay half-life in observe steps; recent evidence outweighs stale (0 = no decay)")
 
 		coalesce      = fs.Bool("coalesce", false, "batch concurrent recommend requests through one factor-slab pass")
 		coalesceWin   = fs.Duration("coalesce-window", 0, "max wait for batch co-travellers (0 = server default 200µs)")
@@ -311,6 +313,7 @@ Flags:
 	if *onlineEp > 0 {
 		online.Epochs = *onlineEp
 	}
+	online.DecayHalfLife = *halfLife
 	role := ""
 	switch {
 	case *replicaOf != "":
@@ -325,6 +328,7 @@ Flags:
 		MaxQueue:        *maxQueue,
 		CacheSize:       *cacheSize,
 		Online:          online,
+		Grow:            *grow,
 		SnapshotPath:    *snapshot,
 		SnapshotKeep:    *snapKeep,
 		FirstGeneration: firstGen,

@@ -260,8 +260,22 @@ type gwCheckIn struct {
 	Hour  int `json:"hour"`
 }
 
+type gwNewUser struct {
+	ID      int   `json:"id"`
+	Friends []int `json:"friends,omitempty"`
+}
+
+type gwPOI struct {
+	ID       int     `json:"id"`
+	Lat      float64 `json:"lat"`
+	Lon      float64 `json:"lon"`
+	Category int     `json:"category"`
+}
+
 type gwObserveRequest struct {
 	CheckIns []gwCheckIn `json:"checkins"`
+	NewUsers []gwNewUser `json:"new_users,omitempty"`
+	NewPOIs  []gwPOI     `json:"new_pois,omitempty"`
 }
 
 // shardObserveResult is one shard's slice of a fanned-out observe.
@@ -270,7 +284,11 @@ type shardObserveResult struct {
 	CheckIns   int    `json:"checkins"`
 	Added      int    `json:"added"`
 	Generation uint64 `json:"generation"`
-	Error      string `json:"error,omitempty"`
+	// Users/POIs are the shard's model dimensions after the batch — under
+	// open-world growth they report how far the shard has grown.
+	Users int    `json:"users,omitempty"`
+	POIs  int    `json:"pois,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 type gwObserveResponse struct {
@@ -279,25 +297,46 @@ type gwObserveResponse struct {
 }
 
 // serveObserve splits an observe batch by user ownership and posts each
-// subset to the owning shard's primary (writes never go to replicas). The
-// merged response reports per-shard cell counts and generations; any shard
-// failure turns the overall status into 502 while still reporting the shards
-// that succeeded.
+// subset to the owning shard's primary (writes never go to replicas).
+// Open-world arrivals route the same way: a new user goes to the shard the
+// ring hashes its id to (consistent hashing needs no membership update for
+// new ids), while a new POI is duplicated to every shard in the split — each
+// shard carries the full POI space. The merged response reports per-shard
+// cell counts and generations; any shard failure turns the overall status
+// into 502 while still reporting the shards that succeeded.
 func (g *Gateway) serveObserve(w http.ResponseWriter, r *http.Request) {
 	var req gwObserveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		g.writeError(w, http.StatusBadRequest, "decoding body: %v", err)
 		return
 	}
-	if len(req.CheckIns) == 0 {
+	if len(req.CheckIns) == 0 && len(req.NewUsers) == 0 && len(req.NewPOIs) == 0 {
 		g.writeError(w, http.StatusBadRequest, "no checkins in request")
 		return
 	}
 	g.met.observeFanouts.Add(1)
-	split := make(map[string][]gwCheckIn)
+	split := make(map[string]*gwObserveRequest)
+	sub := func(shard string) *gwObserveRequest {
+		if split[shard] == nil {
+			split[shard] = &gwObserveRequest{}
+		}
+		return split[shard]
+	}
 	for _, c := range req.CheckIns {
-		shard := g.ring.Owner(c.User)
-		split[shard] = append(split[shard], c)
+		s := sub(g.ring.Owner(c.User))
+		s.CheckIns = append(s.CheckIns, c)
+	}
+	for _, u := range req.NewUsers {
+		s := sub(g.ring.Owner(u.ID))
+		s.NewUsers = append(s.NewUsers, u)
+	}
+	if len(req.NewPOIs) > 0 {
+		// Every shard scores over the full POI space, so POI openings go to
+		// every primary, not just those owning this batch's users.
+		for _, set := range g.sets {
+			s := sub(set.Name)
+			s.NewPOIs = append(s.NewPOIs, req.NewPOIs...)
+		}
 	}
 	shards := make([]string, 0, len(split))
 	for shard := range split {
@@ -328,9 +367,9 @@ func (g *Gateway) serveObserve(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(&out)
 }
 
-func (g *Gateway) postObserve(ctx context.Context, shard string, checkIns []gwCheckIn) shardObserveResult {
-	res := shardObserveResult{Shard: shard, CheckIns: len(checkIns)}
-	body, err := json.Marshal(gwObserveRequest{CheckIns: checkIns})
+func (g *Gateway) postObserve(ctx context.Context, shard string, sub *gwObserveRequest) shardObserveResult {
+	res := shardObserveResult{Shard: shard, CheckIns: len(sub.CheckIns)}
+	body, err := json.Marshal(sub)
 	if err != nil {
 		res.Error = err.Error()
 		return res
@@ -363,11 +402,14 @@ func (g *Gateway) postObserve(ctx context.Context, shard string, checkIns []gwCh
 	var ok struct {
 		Added      int    `json:"added"`
 		Generation uint64 `json:"generation"`
+		Users      int    `json:"users"`
+		POIs       int    `json:"pois"`
 	}
 	if err := json.Unmarshal(raw, &ok); err != nil {
 		res.Error = err.Error()
 		return res
 	}
 	res.Added, res.Generation = ok.Added, ok.Generation
+	res.Users, res.POIs = ok.Users, ok.POIs
 	return res
 }

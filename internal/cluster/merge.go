@@ -31,6 +31,12 @@ type shardMetricsDoc struct {
 	Observe struct {
 		Count int64 `json:"count"`
 	} `json:"observe"`
+	ObservePipeline struct {
+		GrownUsers         int64 `json:"observe_grown_users"`
+		GrownPOIs          int64 `json:"observe_grown_pois"`
+		RejectedCompact    int64 `json:"observe_rejected_compact"`
+		RejectedOutOfRange int64 `json:"observe_rejected_out_of_range"`
+	} `json:"observe_pipeline"`
 	BadRequests    int64 `json:"bad_requests"`
 	Shed           int64 `json:"shed_503"`
 	DeadlineMissed int64 `json:"deadline_504"`
@@ -129,6 +135,16 @@ type clusterMetrics struct {
 		InternalErrors int64 `json:"internal_500"`
 		Misrouted      int64 `json:"misrouted"`
 	} `json:"totals"`
+
+	// Growth sums the shards' open-world growth counters. GrownPOIs counts
+	// per-shard row additions, so with POI openings duplicated to every
+	// shard it is roughly shards × the number of distinct openings.
+	Growth struct {
+		GrownUsers         int64 `json:"observe_grown_users"`
+		GrownPOIs          int64 `json:"observe_grown_pois"`
+		RejectedCompact    int64 `json:"observe_rejected_compact"`
+		RejectedOutOfRange int64 `json:"observe_rejected_out_of_range"`
+	} `json:"growth"`
 
 	Replication struct {
 		ShipmentsServed  int64 `json:"shipments_served"`
@@ -267,6 +283,10 @@ func (g *Gateway) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		out.Totals.DeadlineMissed += d.DeadlineMissed
 		out.Totals.InternalErrors += d.InternalErrors
 		out.Totals.Misrouted += d.Shard.Misrouted
+		out.Growth.GrownUsers += d.ObservePipeline.GrownUsers
+		out.Growth.GrownPOIs += d.ObservePipeline.GrownPOIs
+		out.Growth.RejectedCompact += d.ObservePipeline.RejectedCompact
+		out.Growth.RejectedOutOfRange += d.ObservePipeline.RejectedOutOfRange
 		out.Replication.ShipmentsServed += d.Replication.ShipmentsServed
 		out.Replication.Applied += d.Replication.Applied
 		out.Replication.Syncs += d.Replication.Syncs

@@ -97,6 +97,12 @@ func (r *Replicator) SyncOnce(ctx context.Context) (gen uint64, applied bool, er
 		r.Server.RecordReplication(err)
 		return after, false, err
 	}
+	// Open-world growth at the primary may have extended the distance matrix
+	// (DecodeShipment grew or rebuilt it from shipped coordinates); keep the
+	// grown matrix as the local baseline so the next sync grafts it directly.
+	if side.Dist != nil && (r.Dist == nil || side.Dist.N > r.Dist.N) {
+		r.Dist = side.Dist
+	}
 	r.Server.RecordReplication(nil)
 	r.last.Store(gen)
 	return gen, gen == shippedGen, nil

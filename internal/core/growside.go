@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tcss/internal/geo"
+	"tcss/internal/graph"
+	"tcss/internal/tensor"
+)
+
+// GrowSideInfo extends side information to the dimensions of train and
+// refreshes exactly the rows the touched entries affect, instead of the full
+// O(I+J+nnz) rebuild of BuildSideInfo. The receiver-style input old is never
+// mutated — published snapshots may still reference it — and unaffected rows
+// of the result share their slices with old (copy-on-write at row
+// granularity).
+//
+// social and dist must already cover train's dimensions (grow them first with
+// graph.AddVertices / geo.DistanceMatrix.Grown). touched lists the entries
+// just observed (or about to be): their users' own sets, their POIs' entropy
+// weights, and the friend sets of every neighbour of a touched user are
+// recomputed from train; everything else is carried over. Rows between old
+// and new dimensions are initialized even when untouched.
+func GrowSideInfo(old *SideInfo, social *graph.Graph, dist *geo.DistanceMatrix, train *tensor.COO, touched []tensor.Entry) (*SideInfo, error) {
+	if social.N() != train.DimI {
+		return nil, fmt.Errorf("core: social graph covers %d users, tensor has %d", social.N(), train.DimI)
+	}
+	if dist.N != train.DimJ {
+		return nil, fmt.Errorf("core: distance matrix covers %d POIs, tensor has %d", dist.N, train.DimJ)
+	}
+	oldI, oldJ := len(old.OwnPOIs), len(old.EntropyW)
+	I, J := train.DimI, train.DimJ
+	if I < oldI || J < oldJ {
+		return nil, fmt.Errorf("core: side info cannot shrink %dx%d to %dx%d", oldI, oldJ, I, J)
+	}
+
+	// Rows needing recomputation: touched entries plus every newly-grown row.
+	userDirty := make(map[int]struct{})
+	poiDirty := make(map[int]struct{})
+	for _, e := range touched {
+		userDirty[e.I] = struct{}{}
+		poiDirty[e.J] = struct{}{}
+	}
+	for i := oldI; i < I; i++ {
+		userDirty[i] = struct{}{}
+	}
+	for j := oldJ; j < J; j++ {
+		poiDirty[j] = struct{}{}
+	}
+
+	// One pass over the training entries collects the inputs for exactly the
+	// dirty rows: per-POI visit multiplicities for entropy, per-user POI sets
+	// for the own lists.
+	visitCounts := make(map[int]map[int]int)
+	ownSets := make(map[int]map[int]struct{})
+	for _, e := range train.Entries() {
+		if _, ok := poiDirty[e.J]; ok {
+			if visitCounts[e.J] == nil {
+				visitCounts[e.J] = make(map[int]int)
+			}
+			visitCounts[e.J][e.I]++
+		}
+		if _, ok := userDirty[e.I]; ok {
+			if ownSets[e.I] == nil {
+				ownSets[e.I] = make(map[int]struct{})
+			}
+			ownSets[e.I][e.J] = struct{}{}
+		}
+	}
+
+	entropyW := make([]float64, J)
+	copy(entropyW, old.EntropyW)
+	for j := oldJ; j < J; j++ {
+		entropyW[j] = 1 // unvisited POI: entropy 0, weight 1
+	}
+	for j := range poiDirty {
+		counts := visitCounts[j]
+		if counts == nil {
+			entropyW[j] = 1
+			continue
+		}
+		visits := make([]int, 0, len(counts))
+		for _, c := range counts {
+			visits = append(visits, c)
+		}
+		sort.Ints(visits)
+		entropyW[j] = geo.EntropyWeight(geo.LocationEntropy(visits))
+	}
+
+	own := make([][]int, I)
+	copy(own, old.OwnPOIs)
+	for i := oldI; i < I; i++ {
+		own[i] = nil
+	}
+	for i := range userDirty {
+		set := ownSets[i]
+		lst := make([]int, 0, len(set))
+		for j := range set {
+			lst = append(lst, j)
+		}
+		sort.Ints(lst)
+		own[i] = lst
+	}
+
+	// A user's friend set changes when any neighbour's own set changed, or
+	// when the user itself is new (its edges are new). Dirty users' own sets
+	// changed, so their neighbours are dirty too.
+	friendDirty := make(map[int]struct{})
+	for u := range userDirty {
+		friendDirty[u] = struct{}{}
+		for _, v := range social.Neighbors(u) {
+			friendDirty[v] = struct{}{}
+		}
+	}
+	friends := make([][]int, I)
+	copy(friends, old.FriendPOIs)
+	for i := oldI; i < I; i++ {
+		friends[i] = nil
+	}
+	for v := range friendDirty {
+		set := make(map[int]struct{})
+		for _, f := range social.Neighbors(v) {
+			for _, j := range own[f] {
+				set[j] = struct{}{}
+			}
+		}
+		lst := make([]int, 0, len(set))
+		for j := range set {
+			lst = append(lst, j)
+		}
+		sort.Ints(lst)
+		friends[v] = lst
+	}
+
+	return &SideInfo{Dist: dist, EntropyW: entropyW, OwnPOIs: own, FriendPOIs: friends}, nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"tcss/internal/opt"
@@ -20,7 +21,31 @@ type OnlineConfig struct {
 	Lambda     float64 // social head weight; 0 skips the head
 	NegPerNew  float64 // sampled negatives per new check-in for contrast
 	Seed       int64
+
+	// Grow lets entries beyond the model's current (I, J) extend it via
+	// Model.Grow instead of failing with ErrOutOfRange. GrowHints, when
+	// set, warm-starts the appended rows (see GrowthHints); the time axis K
+	// never grows.
+	Grow      bool
+	GrowHints *GrowthHints
+
+	// DecayHalfLife, when positive, exponentially decays the existing
+	// training positives before folding in the new batch: every stored
+	// value is multiplied by 2^(-1/DecayHalfLife) per update, so a
+	// check-in's training weight halves every DecayHalfLife observe steps
+	// and stale positives stop dominating the loss. Re-observing a decayed
+	// cell refreshes its weight to the new entry's value. 0 disables decay
+	// (the historical behaviour).
+	DecayHalfLife float64
+	// DecayFloor drops entries once decay pushes them below it; 0 means
+	// the default of 0.05 when decay is enabled.
+	DecayFloor float64
 }
+
+// defaultDecayFloor is the weight below which decayed positives are dropped
+// from the training tensor when DecayHalfLife is set without an explicit
+// floor: 1/20th of a fresh check-in, reached after ~4.3 half-lives.
+const defaultDecayFloor = 0.05
 
 // DefaultOnlineConfig returns update hyperparameters matched to
 // DefaultConfig's training regime.
@@ -33,7 +58,13 @@ func DefaultOnlineConfig() OnlineConfig {
 // against (a) the new positives, (b) sampled negatives for contrast, and
 // (c) the social Hausdorff head restricted to the affected users when side
 // information is given. The tensor x is modified in place (the new entries
-// are inserted); the returned count is the number of genuinely new cells.
+// are inserted, after time decay if configured); the returned count is the
+// number of genuinely new cells. Entry values are honoured as gradient
+// targets and stored weights — they must be positive.
+//
+// With cfg.Grow set, entries beyond (I, J) first extend the model and x via
+// Model.Grow; without it they fail with ErrOutOfRange. Compact models fail
+// with ErrCompactModel.
 //
 // The refinement is a warm-start run of the internal/train engine: the same
 // driver that powers offline training executes a short full-batch schedule
@@ -45,17 +76,50 @@ func (m *Model) UpdateOnline(x *tensor.COO, newEntries []tensor.Entry, side *Sid
 		return 0, fmt.Errorf("core: online update needs positive epochs and LR, got %d/%g", cfg.Epochs, cfg.LR)
 	}
 	if m.Mode != StorageFloat64 {
-		return 0, fmt.Errorf("core: online update requires float64 storage, model is %v (Decompress first, re-compact after)", m.Mode)
+		return 0, fmt.Errorf("core: online update on %v storage (Decompress first, re-compact after): %w", m.Mode, ErrCompactModel)
+	}
+	needI, needJ := m.I, m.J
+	for _, e := range newEntries {
+		if e.I < 0 || e.J < 0 || e.K < 0 || e.K >= m.K {
+			return 0, fmt.Errorf("core: online entry (%d,%d,%d) invalid for model %dx%dx%d: %w",
+				e.I, e.J, e.K, m.I, m.J, m.K, ErrOutOfRange)
+		}
+		if e.Val <= 0 {
+			return 0, fmt.Errorf("core: online entry (%d,%d,%d) has non-positive weight %g", e.I, e.J, e.K, e.Val)
+		}
+		if e.I >= needI {
+			needI = e.I + 1
+		}
+		if e.J >= needJ {
+			needJ = e.J + 1
+		}
+	}
+	if needI > m.I || needJ > m.J {
+		if !cfg.Grow {
+			return 0, fmt.Errorf("core: online entries need %dx%d but model is %dx%d and growth is disabled: %w",
+				needI, needJ, m.I, m.J, ErrOutOfRange)
+		}
+		if err := m.Grow(needI, needJ, cfg.GrowHints); err != nil {
+			return 0, err
+		}
+		x.Grow(needI, needJ, x.DimK)
+	}
+	if cfg.DecayHalfLife > 0 {
+		floor := cfg.DecayFloor
+		if floor == 0 {
+			floor = defaultDecayFloor
+		}
+		x.DecayScale(math.Exp2(-1/cfg.DecayHalfLife), floor)
 	}
 	var fresh []tensor.Entry
 	affected := make(map[int]struct{})
 	for _, e := range newEntries {
-		if e.I < 0 || e.I >= m.I || e.J < 0 || e.J >= m.J || e.K < 0 || e.K >= m.K {
-			return 0, fmt.Errorf("core: online entry (%d,%d,%d) out of model range", e.I, e.J, e.K)
-		}
 		if !x.Has(e.I, e.J, e.K) {
-			x.Set(e.I, e.J, e.K, 1)
-			fresh = append(fresh, tensor.Entry{I: e.I, J: e.J, K: e.K, Val: 1})
+			x.Set(e.I, e.J, e.K, e.Val)
+			fresh = append(fresh, e)
+		} else if cfg.DecayHalfLife > 0 {
+			// A re-visit refreshes the decayed weight of the cell.
+			x.Set(e.I, e.J, e.K, e.Val)
 		}
 		affected[e.I] = struct{}{}
 	}
@@ -72,6 +136,11 @@ func (m *Model) UpdateOnline(x *tensor.COO, newEntries []tensor.Entry, side *Sid
 	}
 	users := make([]int, 0, len(affected))
 	for u := range affected {
+		// A stale side info (built before growth) has no friend sets for
+		// newly-grown users; keep the head restricted to covered rows.
+		if head != nil && u >= len(side.FriendPOIs) {
+			continue
+		}
 		users = append(users, u)
 	}
 	sort.Ints(users)

@@ -21,6 +21,11 @@ type SideInfo struct {
 	// FriendPOIs[v] is N(v): the sorted union of training POIs visited by
 	// v's friends (Eq 8).
 	FriendPOIs [][]int
+	// Locs, when non-nil, holds the POI coordinates Dist was computed from
+	// (len == Dist.N). BuildSideInfo leaves it nil; the tcss layer fills it
+	// in so snapshot shipping can extend a replica's distance matrix when
+	// the shipped model has grown beyond it.
+	Locs []geo.Point
 }
 
 // BuildSideInfo derives side information from the social graph, the POI

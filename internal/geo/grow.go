@@ -1,0 +1,68 @@
+package geo
+
+import "fmt"
+
+// Grown returns a new distance matrix over pts, reusing the receiver's
+// already-computed block: pts must be the full grown point list whose first
+// dm.N entries are the points dm was built from. Only the new-vs-all
+// distances are computed, so growing by Δ POIs costs O(n·Δ) instead of the
+// O(n²) of a full rebuild. The receiver is not modified — published snapshots
+// may keep referencing it.
+func (dm *DistanceMatrix) Grown(pts []Point) *DistanceMatrix {
+	n := len(pts)
+	if n < dm.N {
+		panic(fmt.Sprintf("geo: Grown with %d points, matrix already covers %d", n, dm.N))
+	}
+	if n == dm.N {
+		return dm
+	}
+	out := &DistanceMatrix{N: n, D: make([]float64, n*n), DMax: dm.DMax}
+	for i := 0; i < dm.N; i++ {
+		copy(out.D[i*n:i*n+dm.N], dm.D[i*dm.N:(i+1)*dm.N])
+	}
+	for i := dm.N; i < n; i++ {
+		for j := 0; j < i; j++ {
+			d := Haversine(pts[i], pts[j])
+			out.D[i*n+j] = d
+			out.D[j*n+i] = d
+			if d > out.DMax {
+				out.DMax = d
+			}
+		}
+	}
+	return out
+}
+
+// NearestIndices returns the up-to-k nearest POIs to j (excluding j itself),
+// closest first, ties broken by lower index. Growth warm-starts a new POI's
+// factor row from these geographic neighbours.
+func (dm *DistanceMatrix) NearestIndices(j, k int) []int {
+	type cand struct {
+		idx int
+		d   float64
+	}
+	best := make([]cand, 0, k)
+	for i := 0; i < dm.N; i++ {
+		if i == j {
+			continue
+		}
+		d := dm.At(j, i)
+		pos := len(best)
+		for pos > 0 && (d < best[pos-1].d || (d == best[pos-1].d && i < best[pos-1].idx)) {
+			pos--
+		}
+		if pos >= k {
+			continue
+		}
+		if len(best) < k {
+			best = append(best, cand{})
+		}
+		copy(best[pos+1:], best[pos:])
+		best[pos] = cand{i, d}
+	}
+	out := make([]int, len(best))
+	for i, c := range best {
+		out[i] = c.idx
+	}
+	return out
+}

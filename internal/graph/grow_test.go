@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddVertices(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	first := g.AddVertices(2)
+	if first != 3 || g.N() != 5 {
+		t.Fatalf("first=%d N=%d, want 3/5", first, g.N())
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("existing edge lost")
+	}
+	if g.Degree(3) != 0 || g.Degree(4) != 0 {
+		t.Error("new vertices not isolated")
+	}
+	g.AddEdge(4, 0)
+	if !g.HasEdge(0, 4) {
+		t.Error("cannot wire new vertex")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	c := g.Clone()
+	c.AddEdge(0, 2)
+	c.RemoveEdge(0, 1)
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 2) {
+		t.Error("clone mutation leaked into original")
+	}
+	if !c.HasEdge(2, 3) {
+		t.Error("clone missing original edge")
+	}
+}
+
+func TestPreferentialAttachBiasAndDeterminism(t *testing.T) {
+	build := func(seed int64) (*Graph, []int) {
+		g := New(6)
+		// Hub: vertex 0 with degree 4.
+		for v := 1; v <= 4; v++ {
+			g.AddEdge(0, v)
+		}
+		v := g.AddVertices(1)
+		picked := g.PreferentialAttach(v, 2, rand.New(rand.NewSource(seed)))
+		return g, picked
+	}
+	g, picked := build(9)
+	if len(picked) != 2 {
+		t.Fatalf("picked %v, want 2 neighbours", picked)
+	}
+	for _, u := range picked {
+		if !g.HasEdge(u, 6) {
+			t.Errorf("picked %d but edge missing", u)
+		}
+	}
+	_, again := build(9)
+	if len(again) != len(picked) || again[0] != picked[0] || again[1] != picked[1] {
+		t.Errorf("same seed picked %v then %v", picked, again)
+	}
+
+	// Degree bias: over many trials the hub must be chosen far more often
+	// than the isolated vertex 5.
+	rng := rand.New(rand.NewSource(17))
+	hub, isolated := 0, 0
+	for trial := 0; trial < 2000; trial++ {
+		g := New(6)
+		for v := 1; v <= 4; v++ {
+			g.AddEdge(0, v)
+		}
+		v := g.AddVertices(1)
+		for _, u := range g.PreferentialAttach(v, 1, rng) {
+			switch u {
+			case 0:
+				hub++
+			case 5:
+				isolated++
+			}
+		}
+	}
+	if hub <= 3*isolated {
+		t.Errorf("hub picked %d times vs isolated %d — no degree bias", hub, isolated)
+	}
+}
+
+func TestPreferentialAttachExhaustsCandidates(t *testing.T) {
+	g := New(3)
+	picked := g.PreferentialAttach(0, 10, rand.New(rand.NewSource(1)))
+	if len(picked) != 2 {
+		t.Fatalf("picked %v, want both other vertices", picked)
+	}
+}

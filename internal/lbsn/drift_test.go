@@ -1,0 +1,188 @@
+package lbsn
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func driftTestConfig(seed int64) DriftConfig {
+	base, err := NewPreset(PresetGMU5K, seed)
+	if err != nil {
+		panic(err)
+	}
+	base.Users, base.POIs = 60, 50
+	return DriftConfig{
+		Base:             base,
+		Weeks:            6,
+		StartWeek:        14,
+		NewUsersPerWeek:  3,
+		NewPOIsPerWeek:   2,
+		CloseProbPerWeek: 0.01,
+		Seed:             seed + 1,
+	}
+}
+
+func TestGenerateDriftDeterministic(t *testing.T) {
+	a, err := GenerateDrift(driftTestConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDrift(driftTestConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Weeks, b.Weeks) {
+		t.Fatal("same config produced different streams")
+	}
+	if len(a.Base.CheckIns) != len(b.Base.CheckIns) {
+		t.Fatal("same config produced different base datasets")
+	}
+	c, err := GenerateDrift(driftTestConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Weeks, c.Weeks) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGenerateDriftStructure(t *testing.T) {
+	cfg := driftTestConfig(11)
+	d, err := GenerateDrift(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Weeks) != cfg.Weeks {
+		t.Fatalf("weeks = %d, want %d", len(d.Weeks), cfg.Weeks)
+	}
+	// The base must be a valid, pristine closed world.
+	if err := d.Base.Validate(); err != nil {
+		t.Fatalf("base invalid: %v", err)
+	}
+	if d.Base.NumUsers != cfg.Base.Users || len(d.Base.POIs) != cfg.Base.POIs {
+		t.Fatal("weekly batches leaked into the base dataset")
+	}
+
+	users, pois := d.Base.NumUsers, len(d.Base.POIs)
+	closed := map[int]bool{}
+	var arrivals, openings, checkIns int
+	for n, wb := range d.Weeks {
+		if wb.Week != cfg.StartWeek+n {
+			t.Fatalf("week %d has index %d", n, wb.Week)
+		}
+		if wb.Month != monthOfWeek(wb.Week%53) {
+			t.Fatalf("week %d month = %d", wb.Week, wb.Month)
+		}
+		for _, u := range wb.NewUsers {
+			if u.ID != users {
+				t.Fatalf("new user id %d, want contiguous %d", u.ID, users)
+			}
+			for _, f := range u.Friends {
+				if f < 0 || f >= users && f != u.ID {
+					// friends may include same-week earlier arrivals
+					if f >= u.ID {
+						t.Fatalf("user %d befriends not-yet-existing %d", u.ID, f)
+					}
+				}
+			}
+			users++
+			arrivals++
+		}
+		for _, p := range wb.NewPOIs {
+			if p.ID != pois {
+				t.Fatalf("new POI id %d, want contiguous %d", p.ID, pois)
+			}
+			if p.Cluster < 0 || p.Cluster >= cfg.Base.Clusters {
+				t.Fatalf("new POI cluster %d", p.Cluster)
+			}
+			pois++
+			openings++
+		}
+		for _, j := range wb.ClosedPOIs {
+			if j < 0 || j >= pois {
+				t.Fatalf("closed unknown POI %d", j)
+			}
+			closed[j] = true
+		}
+		for _, c := range wb.CheckIns {
+			if c.User < 0 || c.User >= users {
+				t.Fatalf("check-in by unknown user %d (have %d)", c.User, users)
+			}
+			if c.POI < 0 || c.POI >= pois {
+				t.Fatalf("check-in at unknown POI %d (have %d)", c.POI, pois)
+			}
+			if closed[c.POI] {
+				t.Fatalf("check-in at closed POI %d in week %d", c.POI, wb.Week)
+			}
+			if c.Week != wb.Week%53 || c.Month != wb.Month {
+				t.Fatalf("check-in calendar (%d,%d) disagrees with week batch (%d,%d)",
+					c.Month, c.Week, wb.Month, wb.Week%53)
+			}
+			if c.Hour < 0 || c.Hour > 23 {
+				t.Fatalf("check-in hour %d", c.Hour)
+			}
+			checkIns++
+		}
+	}
+	if arrivals == 0 || openings == 0 || checkIns == 0 {
+		t.Fatalf("degenerate stream: %d arrivals, %d openings, %d check-ins", arrivals, openings, checkIns)
+	}
+	gotU, gotJ := d.FinalDims()
+	if gotU != users || gotJ != pois {
+		t.Fatalf("FinalDims = (%d,%d), want (%d,%d)", gotU, gotJ, users, pois)
+	}
+}
+
+func TestDriftSeasonalShift(t *testing.T) {
+	// Over a long stream, outdoor check-in share in July must exceed the
+	// January share — the category-popularity drift the ISSUE requires.
+	cfg := driftTestConfig(13)
+	cfg.Weeks = 53
+	cfg.StartWeek = 0
+	cfg.NewUsersPerWeek, cfg.NewPOIsPerWeek, cfg.CloseProbPerWeek = 0, 0, 0
+	d, err := GenerateDrift(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := func(month int) float64 {
+		var outdoor, total int
+		for _, wb := range d.Weeks {
+			if wb.Month != month {
+				continue
+			}
+			for _, c := range wb.CheckIns {
+				if d.Base.POIs[c.POI].Category == Outdoor {
+					outdoor++
+				}
+				total++
+			}
+		}
+		if total == 0 {
+			t.Fatalf("no check-ins in month %d", month)
+		}
+		return float64(outdoor) / float64(total)
+	}
+	jan, jul := share(0), share(6)
+	if jul <= jan {
+		t.Errorf("outdoor share July %.3f <= January %.3f — no seasonal drift", jul, jan)
+	}
+}
+
+func TestDriftWeeksJSONLRoundTrip(t *testing.T) {
+	d, err := GenerateDrift(driftTestConfig(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteWeeksJSONL(&buf, d.Weeks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWeeksJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d.Weeks) {
+		t.Fatal("drift stream did not round-trip through JSONL")
+	}
+}

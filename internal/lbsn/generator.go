@@ -122,65 +122,6 @@ func NewPreset(name string, seed int64) (GenConfig, error) {
 	return base, nil
 }
 
-// monthProfile returns the relative visit propensity of the category for
-// each month. Outdoor POIs are strongly seasonal (summer peak), shopping
-// peaks in the holiday season, entertainment has a mild summer bump, and food
-// is nearly flat — matching the paper's observations in §V-G.
-func monthProfile(c Category) [12]float64 {
-	switch c {
-	case Outdoor:
-		return [12]float64{0.2, 0.25, 0.5, 0.9, 1.4, 1.9, 2.0, 1.8, 1.2, 0.7, 0.3, 0.2}
-	case Shopping:
-		return [12]float64{0.7, 0.6, 0.7, 0.8, 0.9, 0.9, 0.9, 1.0, 0.9, 1.0, 1.6, 2.0}
-	case Entertainment:
-		return [12]float64{0.8, 0.8, 0.9, 1.0, 1.2, 1.4, 1.5, 1.4, 1.1, 1.0, 0.9, 1.0}
-	case Food:
-		return [12]float64{1.0, 1.0, 1.0, 1.05, 1.05, 1.0, 1.0, 1.0, 1.0, 1.05, 1.05, 1.1}
-	}
-	panic(fmt.Sprintf("lbsn: unknown category %d", int(c)))
-}
-
-// hourProfile returns the relative visit propensity per hour of day.
-func hourProfile(c Category) [24]float64 {
-	var p [24]float64
-	for h := 0; h < 24; h++ {
-		switch c {
-		case Food:
-			// Lunch and dinner peaks.
-			p[h] = 0.1 + 1.8*gauss(float64(h), 12, 1.5) + 2.2*gauss(float64(h), 19, 2)
-		case Shopping:
-			p[h] = 0.05 + 1.5*gauss(float64(h), 15, 3.5)
-		case Entertainment:
-			p[h] = 0.05 + 2.0*gauss(float64(h), 21, 2.5)
-		case Outdoor:
-			p[h] = 0.05 + 1.6*gauss(float64(h), 10, 3) + 1.0*gauss(float64(h), 17, 2.5)
-		}
-	}
-	return p
-}
-
-func gauss(x, mu, sigma float64) float64 {
-	d := (x - mu) / sigma
-	return math.Exp(-0.5 * d * d)
-}
-
-// categorySeasonality scales how much of a POI's visit timing follows its
-// individual peak month, per category: people eat out all year but hike in
-// summer.
-func categorySeasonality(c Category) float64 {
-	switch c {
-	case Food:
-		return 0.3
-	case Shopping:
-		return 0.9
-	case Entertainment:
-		return 0.85
-	case Outdoor:
-		return 1.0
-	}
-	return 1
-}
-
 // Generate synthesizes a dataset from the configuration. The same
 // configuration (including Seed) always produces the same dataset.
 func Generate(cfg GenConfig) (*Dataset, error) {
@@ -381,107 +322,3 @@ func MustPreset(name string, seed int64) *Dataset {
 	}
 	return MustGenerate(cfg)
 }
-
-// sharpen interpolates a profile toward uniform when sharpness < 1 and
-// normalizes it to sum 1.
-func sharpen(p [12]float64, sharpness float64) [12]float64 {
-	var sum float64
-	for _, v := range p {
-		sum += v
-	}
-	mean := sum / 12
-	var out [12]float64
-	var norm float64
-	for i, v := range p {
-		out[i] = mean + sharpness*(v-mean)
-		if out[i] < 0 {
-			out[i] = 0
-		}
-		norm += out[i]
-	}
-	for i := range out {
-		out[i] /= norm
-	}
-	return out
-}
-
-// sampleIndexArr is sampleIndex over a fixed-size month profile.
-func sampleIndexArr(weights [12]float64, rng *rand.Rand) int {
-	return sampleIndex(weights[:], rng)
-}
-
-// sampleIndex draws an index proportionally to the non-negative weights.
-func sampleIndex(weights []float64, rng *rand.Rand) int {
-	var total float64
-	for _, w := range weights {
-		total += w
-	}
-	x := rng.Float64() * total
-	for i, w := range weights {
-		x -= w
-		if x < 0 {
-			return i
-		}
-	}
-	return len(weights) - 1
-}
-
-// weightedPOI samples a POI from the pool with probability proportional to
-// weight(j).
-func weightedPOI(pool []int, weight func(int) float64, rng *rand.Rand) int {
-	var total float64
-	for _, j := range pool {
-		total += weight(j)
-	}
-	x := rng.Float64() * total
-	for _, j := range pool {
-		x -= weight(j)
-		if x < 0 {
-			return j
-		}
-	}
-	return pool[len(pool)-1]
-}
-
-// poissonLike draws a non-negative count with the given mean using Knuth's
-// method for small means and a rounded normal for large ones.
-func poissonLike(mean float64, rng *rand.Rand) int {
-	if mean <= 0 {
-		return 0
-	}
-	if mean > 30 {
-		n := int(mean + rng.NormFloat64()*math.Sqrt(mean) + 0.5)
-		if n < 0 {
-			n = 0
-		}
-		return n
-	}
-	l := math.Exp(-mean)
-	k, p := 0, 1.0
-	for {
-		p *= rng.Float64()
-		if p <= l {
-			return k
-		}
-		k++
-	}
-}
-
-// weekOfMonth converts a month index to a week-of-year index consistent with
-// it: one of the month's ~4.4 weeks, uniformly.
-func weekOfMonth(month int, rng *rand.Rand) int {
-	start := int(float64(month) * 53.0 / 12.0)
-	end := int(float64(month+1) * 53.0 / 12.0)
-	if end <= start {
-		end = start + 1
-	}
-	w := start + rng.Intn(end-start)
-	if w > 52 {
-		w = 52
-	}
-	return w
-}
-
-// exactAdoptFrac is the share of friend adoptions that copy the friend's
-// exact POI; the remainder land in the same geographic cluster.
-const exactAdoptFrac = 0.5

@@ -1,0 +1,180 @@
+package lbsn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMonthProfilePinned pins the per-category month profiles so the drift
+// stream and the static generator cannot diverge without a test failing.
+func TestMonthProfilePinned(t *testing.T) {
+	cases := []struct {
+		cat  Category
+		want [12]float64
+	}{
+		{Outdoor, [12]float64{0.2, 0.25, 0.5, 0.9, 1.4, 1.9, 2.0, 1.8, 1.2, 0.7, 0.3, 0.2}},
+		{Shopping, [12]float64{0.7, 0.6, 0.7, 0.8, 0.9, 0.9, 0.9, 1.0, 0.9, 1.0, 1.6, 2.0}},
+		{Entertainment, [12]float64{0.8, 0.8, 0.9, 1.0, 1.2, 1.4, 1.5, 1.4, 1.1, 1.0, 0.9, 1.0}},
+		{Food, [12]float64{1.0, 1.0, 1.0, 1.05, 1.05, 1.0, 1.0, 1.0, 1.0, 1.05, 1.05, 1.1}},
+	}
+	for _, tc := range cases {
+		if got := monthProfile(tc.cat); got != tc.want {
+			t.Errorf("monthProfile(%v) = %v, want %v", tc.cat, got, tc.want)
+		}
+	}
+}
+
+// TestHourProfilePinned pins structural facts of the hour profiles: the peak
+// hour and a handful of exact values per category.
+func TestHourProfilePinned(t *testing.T) {
+	cases := []struct {
+		cat      Category
+		peakHour int
+		at       map[int]float64
+	}{
+		{Food, 19, map[int]float64{12: 0.1 + 1.8 + 2.2*gauss(12, 19, 2), 0: 0.1 + 1.8*gauss(0, 12, 1.5) + 2.2*gauss(0, 19, 2)}},
+		{Shopping, 15, map[int]float64{15: 0.05 + 1.5}},
+		{Entertainment, 21, map[int]float64{21: 0.05 + 2.0}},
+		{Outdoor, 10, map[int]float64{10: 0.05 + 1.6 + 1.0*gauss(10, 17, 2.5)}},
+	}
+	for _, tc := range cases {
+		p := hourProfile(tc.cat)
+		peak := 0
+		for h := 1; h < 24; h++ {
+			if p[h] > p[peak] {
+				peak = h
+			}
+		}
+		if peak != tc.peakHour {
+			t.Errorf("hourProfile(%v) peak hour = %d, want %d", tc.cat, peak, tc.peakHour)
+		}
+		for h, want := range tc.at {
+			if math.Abs(p[h]-want) > 1e-12 {
+				t.Errorf("hourProfile(%v)[%d] = %g, want %g", tc.cat, h, p[h], want)
+			}
+		}
+	}
+}
+
+func TestCategorySeasonalityPinned(t *testing.T) {
+	cases := map[Category]float64{Food: 0.3, Shopping: 0.9, Entertainment: 0.85, Outdoor: 1.0}
+	for cat, want := range cases {
+		if got := categorySeasonality(cat); got != want {
+			t.Errorf("categorySeasonality(%v) = %g, want %g", cat, got, want)
+		}
+	}
+}
+
+// TestSharpen checks the interpolation endpoints: sharpness 0 is uniform,
+// sharpness 1 is the normalized input, and every output sums to 1.
+func TestSharpen(t *testing.T) {
+	in := monthProfile(Outdoor)
+	var sum float64
+	for _, v := range in {
+		sum += v
+	}
+	cases := []struct {
+		sharpness float64
+		want      func(i int) float64
+	}{
+		{0, func(int) float64 { return 1.0 / 12 }},
+		{1, func(i int) float64 { return in[i] / sum }},
+		{0.5, func(i int) float64 { m := sum / 12; return (m + 0.5*(in[i]-m)) / sum }},
+	}
+	for _, tc := range cases {
+		out := sharpen(in, tc.sharpness)
+		var total float64
+		for i, v := range out {
+			total += v
+			if want := tc.want(i); math.Abs(v-want) > 1e-12 {
+				t.Errorf("sharpen(%g)[%d] = %g, want %g", tc.sharpness, i, v, want)
+			}
+		}
+		if math.Abs(total-1) > 1e-12 {
+			t.Errorf("sharpen(%g) sums to %g, want 1", tc.sharpness, total)
+		}
+	}
+}
+
+// TestSampleIndexDistribution verifies empirical frequencies converge to the
+// normalized weights.
+func TestSampleIndexDistribution(t *testing.T) {
+	weights := []float64{1, 3, 0, 6}
+	rng := rand.New(rand.NewSource(7))
+	const n = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[sampleIndex(weights, rng)]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight index sampled %d times", counts[2])
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / n
+		want := w / 10
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d frequency %.3f, want %.3f±0.01", i, got, want)
+		}
+	}
+}
+
+func TestWeightedPOIDistribution(t *testing.T) {
+	pool := []int{4, 9, 2}
+	weight := func(j int) float64 { return float64(j) }
+	rng := rand.New(rand.NewSource(11))
+	const n = 150000
+	counts := map[int]int{}
+	for i := 0; i < n; i++ {
+		counts[weightedPOI(pool, weight, rng)]++
+	}
+	for _, j := range pool {
+		got := float64(counts[j]) / n
+		want := float64(j) / 15
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("POI %d frequency %.3f, want %.3f±0.01", j, got, want)
+		}
+	}
+}
+
+// TestPoissonLikeMoments checks the sample mean tracks the requested mean in
+// both the Knuth (small-mean) and rounded-normal (large-mean) regimes.
+func TestPoissonLikeMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, mean := range []float64{0, 0.5, 4, 18, 60} {
+		const n = 60000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(poissonLike(mean, rng))
+		}
+		got := sum / n
+		tol := 0.05 * (mean + 1)
+		if math.Abs(got-mean) > tol {
+			t.Errorf("poissonLike(%g) sample mean %.3f, want %.3f±%.3f", mean, got, mean, tol)
+		}
+	}
+}
+
+// TestWeekMonthRoundTrip verifies monthOfWeek inverts weekOfMonth for every
+// month, and that drift's week→month stamping covers all twelve months.
+func TestWeekMonthRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for m := 0; m < 12; m++ {
+		for i := 0; i < 200; i++ {
+			w := weekOfMonth(m, rng)
+			if w < 0 || w > 52 {
+				t.Fatalf("weekOfMonth(%d) = %d out of range", m, w)
+			}
+			if got := monthOfWeek(w); got != m {
+				t.Fatalf("monthOfWeek(weekOfMonth(%d)=%d) = %d", m, w, got)
+			}
+		}
+	}
+	seen := map[int]bool{}
+	for w := 0; w <= 52; w++ {
+		seen[monthOfWeek(w)] = true
+	}
+	if len(seen) != 12 {
+		t.Errorf("monthOfWeek over weeks 0..52 covers %d months, want 12", len(seen))
+	}
+}

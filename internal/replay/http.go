@@ -1,0 +1,140 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"tcss/internal/lbsn"
+)
+
+// HTTPTarget replays against a live serve node (or a cluster gateway) over
+// its public HTTP API: GET /metrics for dimensions, GET /v1/recommend for
+// scoring, POST /v1/observe for folds. The node must run with growth enabled
+// or arrival-bearing weeks come back 409.
+type HTTPTarget struct {
+	// BaseURL is the node's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client is the HTTP client; http.DefaultClient when nil.
+	Client *http.Client
+}
+
+func (t *HTTPTarget) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+// getJSON fetches url and decodes a 200 response into out.
+func (t *HTTPTarget) getJSON(url string, out any) error {
+	resp, err := t.client().Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (t *HTTPTarget) Dims() (int, int, error) {
+	var doc struct {
+		Model struct {
+			Users int `json:"users"`
+			POIs  int `json:"pois"`
+		} `json:"model"`
+	}
+	if err := t.getJSON(t.BaseURL+"/metrics", &doc); err != nil {
+		return 0, 0, err
+	}
+	return doc.Model.Users, doc.Model.POIs, nil
+}
+
+func (t *HTTPTarget) Recommend(user, tt, n int) ([]int, error) {
+	var doc struct {
+		Results []struct {
+			POI int `json:"poi"`
+		} `json:"results"`
+	}
+	u := fmt.Sprintf("%s/v1/recommend?%s", t.BaseURL, url.Values{
+		"user": {fmt.Sprint(user)},
+		"t":    {fmt.Sprint(tt)},
+		"n":    {fmt.Sprint(n)},
+	}.Encode())
+	if err := t.getJSON(u, &doc); err != nil {
+		return nil, err
+	}
+	pois := make([]int, len(doc.Results))
+	for i, r := range doc.Results {
+		pois[i] = r.POI
+	}
+	return pois, nil
+}
+
+// Wire shapes mirror serve's observeRequest / observeResponse.
+type httpObserveRequest struct {
+	CheckIns []httpCheckIn `json:"checkins"`
+	NewUsers []httpNewUser `json:"new_users,omitempty"`
+	NewPOIs  []httpPOI     `json:"new_pois,omitempty"`
+}
+
+type httpCheckIn struct {
+	User  int `json:"user"`
+	POI   int `json:"poi"`
+	Month int `json:"month"`
+	Week  int `json:"week"`
+	Hour  int `json:"hour"`
+}
+
+type httpNewUser struct {
+	ID      int   `json:"id"`
+	Friends []int `json:"friends,omitempty"`
+}
+
+type httpPOI struct {
+	ID       int     `json:"id"`
+	Lat      float64 `json:"lat"`
+	Lon      float64 `json:"lon"`
+	Category int     `json:"category"`
+}
+
+func (t *HTTPTarget) ObserveWeek(wb lbsn.WeekBatch) (uint64, error) {
+	req := httpObserveRequest{CheckIns: make([]httpCheckIn, len(wb.CheckIns))}
+	for i, c := range wb.CheckIns {
+		req.CheckIns[i] = httpCheckIn{User: c.User, POI: c.POI, Month: c.Month, Week: c.Week, Hour: c.Hour}
+	}
+	for _, u := range wb.NewUsers {
+		req.NewUsers = append(req.NewUsers, httpNewUser{ID: u.ID, Friends: u.Friends})
+	}
+	for _, p := range wb.NewPOIs {
+		req.NewPOIs = append(req.NewPOIs, httpPOI{
+			ID: p.ID, Lat: p.Loc.Lat, Lon: p.Loc.Lon, Category: int(p.Category),
+		})
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := t.client().Post(t.BaseURL+"/v1/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, fmt.Errorf("POST /v1/observe week %d: %s: %s", wb.Week, resp.Status, bytes.TrimSpace(msg))
+	}
+	var out struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.Generation, nil
+}

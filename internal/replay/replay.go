@@ -1,0 +1,215 @@
+// Package replay is the open-world evaluation harness: it feeds a streaming
+// drift scenario (lbsn.GenerateDrift) through a recommender's online observe
+// path week by week, scoring each week's novel check-ins BEFORE folding them
+// in — a strict next-week prediction protocol with no look-ahead. Per week it
+// reports NDCG@K and recall@K split into established users and cold-start
+// arrivals, so the trajectory shows both whether continuous learning keeps up
+// with drift and how quickly warm-started newcomers become servable.
+//
+// The harness drives an abstract Target: LocalTarget wraps an in-process
+// tcss.Recommender (the mode benchmarks and golden tests use), HTTPTarget
+// drives a live serve node through POST /v1/observe and GET /v1/recommend —
+// the same bytes production traffic would send — so the full
+// handler/writer/snapshot pipeline is on the hook.
+package replay
+
+import (
+	"fmt"
+	"math"
+
+	"tcss/internal/lbsn"
+)
+
+// Config tunes the replay protocol. The zero value selects the defaults.
+type Config struct {
+	// TopK is the recommendation list length scored (default 10).
+	TopK int
+	// ColdWeeks is how many simulated weeks after arrival a user still
+	// counts as cold-start (default 2): a user arriving in week a is scored
+	// in the Cold split for weeks (a, a+ColdWeeks] and Established after.
+	ColdWeeks int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TopK <= 0 {
+		c.TopK = 10
+	}
+	if c.ColdWeeks <= 0 {
+		c.ColdWeeks = 2
+	}
+	return c
+}
+
+// Target is a recommender under replay: the three operations the protocol
+// needs, implementable in-process (LocalTarget) or over HTTP (HTTPTarget).
+type Target interface {
+	// Dims returns the model's current user/POI dimensions.
+	Dims() (users, pois int, err error)
+	// Recommend returns the top-n POI ids for a user at time unit t.
+	Recommend(user, t, n int) ([]int, error)
+	// ObserveWeek folds one week's batch — check-ins plus arrivals — into
+	// the model and returns the resulting snapshot generation.
+	ObserveWeek(wb lbsn.WeekBatch) (gen uint64, err error)
+}
+
+// EvalStats aggregates one split of one week: how many novel check-ins were
+// scored, and their mean NDCG@K and recall@K (fraction whose true POI
+// appeared in the top K at all).
+type EvalStats struct {
+	Count  int     `json:"count"`
+	NDCG   float64 `json:"ndcg_at_k"`
+	Recall float64 `json:"recall_at_k"`
+}
+
+type evalAcc struct {
+	count int
+	ndcg  float64
+	hits  int
+}
+
+func (a *evalAcc) add(pos int) {
+	a.count++
+	if pos >= 0 {
+		a.ndcg += 1 / math.Log2(float64(pos)+2)
+		a.hits++
+	}
+}
+
+func (a *evalAcc) merge(b evalAcc) {
+	a.count += b.count
+	a.ndcg += b.ndcg
+	a.hits += b.hits
+}
+
+func (a evalAcc) stats() EvalStats {
+	s := EvalStats{Count: a.count}
+	if a.count > 0 {
+		s.NDCG = a.ndcg / float64(a.count)
+		s.Recall = float64(a.hits) / float64(a.count)
+	}
+	return s
+}
+
+// WeekMetrics is one simulated week of the trajectory: the dimensions and
+// snapshot generation AFTER folding the week, and the next-week-prediction
+// scores computed BEFORE folding it.
+type WeekMetrics struct {
+	Week        int       `json:"week"`
+	Month       int       `json:"month"`
+	Generation  uint64    `json:"generation"`
+	Users       int       `json:"users"`
+	POIs        int       `json:"pois"`
+	Skipped     int       `json:"skipped"`
+	Established EvalStats `json:"established"`
+	Cold        EvalStats `json:"cold"`
+}
+
+// Trajectory is the full replay result.
+type Trajectory struct {
+	TopK    int           `json:"top_k"`
+	Weeks   []WeekMetrics `json:"weeks"`
+	Overall struct {
+		Established EvalStats `json:"established"`
+		Cold        EvalStats `json:"cold"`
+	} `json:"overall"`
+}
+
+// Run replays the drift stream through the target. Protocol per week:
+//
+//  1. Score: every novel check-in (user and POI already inside the model's
+//     dimensions, pair not previously visited) is scored against the CURRENT
+//     model — ask for the top K, find the true POI's rank. Check-ins
+//     referencing entities the model has not grown yet, or pairs the user
+//     already visited (which Recommend rightly excludes), are skipped and
+//     counted.
+//  2. Fold: the whole week batch — including the arrivals that make next
+//     week's newcomers scorable — goes through the target's observe path.
+//
+// The split between Established and Cold is by arrival week: base-dataset
+// users are always established, drift arrivals are cold for cfg.ColdWeeks
+// weeks after their arrival week.
+func Run(d *lbsn.Drift, gran lbsn.Granularity, target Target, cfg Config) (*Trajectory, error) {
+	cfg = cfg.withDefaults()
+	baseUsers := d.Base.NumUsers
+
+	visited := make(map[int]map[int]bool)
+	see := func(user, poi int) {
+		if visited[user] == nil {
+			visited[user] = make(map[int]bool)
+		}
+		visited[user][poi] = true
+	}
+	for _, c := range d.Base.CheckIns {
+		see(c.User, c.POI)
+	}
+	arrival := make(map[int]int) // drift user id -> arrival week
+
+	out := &Trajectory{TopK: cfg.TopK}
+	var totalEst, totalCold evalAcc
+	for _, wb := range d.Weeks {
+		users, pois, err := target.Dims()
+		if err != nil {
+			return nil, fmt.Errorf("replay: week %d dims: %w", wb.Week, err)
+		}
+		var est, cold evalAcc
+		skipped := 0
+		for _, c := range wb.CheckIns {
+			if c.User >= users || c.POI >= pois || visited[c.User][c.POI] {
+				skipped++
+				continue
+			}
+			recs, err := target.Recommend(c.User, gran.Index(c), cfg.TopK)
+			if err != nil {
+				return nil, fmt.Errorf("replay: week %d recommend(user=%d): %w", wb.Week, c.User, err)
+			}
+			pos := -1
+			for i, poi := range recs {
+				if poi == c.POI {
+					pos = i
+					break
+				}
+			}
+			acc := &est
+			if a, drifted := arrival[c.User]; drifted && wb.Week-a <= cfg.ColdWeeks {
+				acc = &cold
+			}
+			acc.add(pos)
+			// Mark now so a second check-in of the same pair this week is
+			// not scored twice.
+			see(c.User, c.POI)
+		}
+
+		for _, u := range wb.NewUsers {
+			if u.ID >= baseUsers {
+				arrival[u.ID] = wb.Week
+			}
+		}
+		gen, err := target.ObserveWeek(wb)
+		if err != nil {
+			return nil, fmt.Errorf("replay: week %d observe: %w", wb.Week, err)
+		}
+		for _, c := range wb.CheckIns {
+			see(c.User, c.POI)
+			// A check-in may implicitly introduce a user (id gap growth).
+			if c.User >= baseUsers {
+				if _, ok := arrival[c.User]; !ok {
+					arrival[c.User] = wb.Week
+				}
+			}
+		}
+		users, pois, err = target.Dims()
+		if err != nil {
+			return nil, fmt.Errorf("replay: week %d post-fold dims: %w", wb.Week, err)
+		}
+		out.Weeks = append(out.Weeks, WeekMetrics{
+			Week: wb.Week, Month: wb.Month, Generation: gen,
+			Users: users, POIs: pois, Skipped: skipped,
+			Established: est.stats(), Cold: cold.stats(),
+		})
+		totalEst.merge(est)
+		totalCold.merge(cold)
+	}
+	out.Overall.Established = totalEst.stats()
+	out.Overall.Cold = totalCold.stats()
+	return out, nil
+}

@@ -37,8 +37,9 @@ import (
 // which is why the default window can stay small.
 //
 // Execution is safe against generation swaps between join and flush because
-// observe updates never resize the model: user and time indices validated by
-// the handler stay in range for every later snapshot.
+// model dimensions only ever grow (open-world observes append rows, never
+// remove them): user and time indices validated by the handler stay in range
+// for every later snapshot.
 //
 // There is no deadlock with bounded admission: every waiter holds its
 // admission slot while blocked on done, but the executor is either one of

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tcss"
+	"tcss/internal/core"
+)
+
+// TestSnapshotSaveAndRestartGrown kills and restarts a growth-enabled node:
+// a server grows past its trained dimensions through /v1/observe, persists,
+// and a fresh process loads the snapshot, reattaches it to the regenerated
+// base dataset (AttachModel grows the dataset to match) and resumes — with
+// the grown dimensions, the continued generation counter, factors
+// bit-identical to the running server's, and bit-identical responses for
+// users whose skip set the observe batch did not touch.
+func TestSnapshotSaveAndRestartGrown(t *testing.T) {
+	path := t.TempDir() + "/snap.json"
+	srv, hs := newTestServer(t, Options{Grow: true, SnapshotPath: path})
+
+	first := srv.snap.load()
+	baseI, baseJ := first.Model.I, first.Model.J
+	newUser, newPOI := baseI, baseJ
+
+	fresh := findFreshCell(t, srv)
+	req := observeRequest{
+		NewUsers: []observeNewUser{{ID: newUser, Friends: []int{fresh.User}}},
+		NewPOIs:  []observePOI{{ID: newPOI, Lat: 38.83, Lon: -77.31, Category: 2}},
+		CheckIns: []observeCheckIn{
+			{User: newUser, POI: newPOI, Month: 3, Week: 13, Hour: 9},
+			fresh,
+		},
+	}
+	if resp, got := postObserve(t, hs.URL, req); resp.StatusCode != http.StatusOK ||
+		got.Generation != 1 || got.Users != baseI+1 || got.POIs != baseJ+1 {
+		t.Fatalf("growth observe failed: %d %+v", resp.StatusCode, got)
+	}
+
+	var saved saveResponse
+	resp, err := http.Post(hs.URL+"/v1/snapshot/save", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&saved); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || saved.Generation != 1 {
+		t.Fatalf("save = %d %+v", resp.StatusCode, saved)
+	}
+
+	m, gen, err := core.LoadFileVersioned(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 || m.I != baseI+1 || m.J != baseJ+1 {
+		t.Fatalf("persisted gen %d dims %dx%d, want gen 1 dims %dx%d",
+			gen, m.I, m.J, baseI+1, baseJ+1)
+	}
+
+	// The persisted factors — grown rows included — must be the running
+	// server's bits exactly.
+	cur := srv.snap.load().Model
+	for n := range cur.U1.Data {
+		if m.U1.Data[n] != cur.U1.Data[n] {
+			t.Fatalf("u1[%d] differs from the running server", n)
+		}
+	}
+	for n := range cur.U2.Data {
+		if m.U2.Data[n] != cur.U2.Data[n] {
+			t.Fatalf("u2[%d] differs from the running server", n)
+		}
+	}
+
+	// Restart against the regenerated base dataset: AttachModel accepts the
+	// larger model and grows the dataset with placeholder entities.
+	rec2, err := tcss.AttachModel(m, makeDataset(t, 21), tcss.Month, testTrainConfig(21), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted, err := New(rec2, Options{FirstGeneration: gen, Grow: true, Online: quickOnline()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Close()
+	hs2 := httptest.NewServer(restarted.Handler())
+	defer hs2.Close()
+
+	var health healthResponse
+	getJSON(t, hs2.URL+"/healthz", &health)
+	if health.Generation != 1 {
+		t.Fatalf("restarted generation %d, want 1", health.Generation)
+	}
+
+	// An established user the observe batch never touched gets bit-identical
+	// recommendations from both processes. (fresh.User's own skip set grew,
+	// and the arrival's check-in is not in the regenerated dataset, so those
+	// two legitimately differ.)
+	otherUser := (fresh.User + 1) % baseI
+	q := fmt.Sprintf("/v1/recommend?user=%d&t=2&n=8", otherUser)
+	var a, b recommendResponse
+	getJSON(t, hs.URL+q, &a)
+	getJSON(t, hs2.URL+q, &b)
+	if len(a.Results) == 0 || len(a.Results) != len(b.Results) {
+		t.Fatalf("restart changed result count %d -> %d", len(a.Results), len(b.Results))
+	}
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			t.Fatalf("rank %d: %+v before restart, %+v after", i, a.Results[i], b.Results[i])
+		}
+	}
+
+	// The grown user is servable after restart, and growth can continue from
+	// the resumed dimensions without a gap.
+	var grownResp recommendResponse
+	if resp := getJSON(t, fmt.Sprintf("%s/v1/recommend?user=%d&t=2&n=8", hs2.URL, newUser), &grownResp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("grown user after restart: status %d", resp.StatusCode)
+	}
+	if len(grownResp.Results) == 0 {
+		t.Fatal("grown user got no recommendations after restart")
+	}
+	next := observeRequest{
+		NewUsers: []observeNewUser{{ID: newUser + 1, Friends: []int{newUser}}},
+		CheckIns: []observeCheckIn{{User: newUser + 1, POI: newPOI, Month: 4, Week: 14, Hour: 11}},
+	}
+	if resp, got := postObserve(t, hs2.URL, next); resp.StatusCode != http.StatusOK ||
+		got.Generation != 2 || got.Users != baseI+2 {
+		t.Fatalf("post-restart growth observe failed: %d %+v", resp.StatusCode, got)
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"strconv"
 	"strings"
 
+	"tcss"
 	"tcss/internal/core"
+	"tcss/internal/geo"
 	"tcss/internal/lbsn"
 	"tcss/internal/registry"
 )
@@ -587,9 +589,13 @@ func (s *Server) serveExplain(w http.ResponseWriter, r *http.Request) {
 	s.met.explainLat.observe(s.opts.now().Sub(started))
 }
 
-// observeRequest is the body of POST /v1/observe.
+// observeRequest is the body of POST /v1/observe. new_users and new_pois
+// carry open-world arrivals (mirroring the drift stream's JSONL shape); they
+// are only accepted when the server runs with Options.Grow.
 type observeRequest struct {
 	CheckIns []observeCheckIn `json:"checkins"`
+	NewUsers []observeNewUser `json:"new_users,omitempty"`
+	NewPOIs  []observePOI     `json:"new_pois,omitempty"`
 }
 
 type observeCheckIn struct {
@@ -600,9 +606,33 @@ type observeCheckIn struct {
 	Hour  int `json:"hour"`
 }
 
+type observeNewUser struct {
+	ID      int   `json:"id"`
+	Friends []int `json:"friends,omitempty"`
+}
+
+type observePOI struct {
+	ID       int     `json:"id"`
+	Lat      float64 `json:"lat"`
+	Lon      float64 `json:"lon"`
+	Category int     `json:"category"`
+}
+
 type observeResponse struct {
 	Added      int    `json:"added"`
 	Generation uint64 `json:"generation"`
+	// Users and POIs report the model dimensions after the batch applied.
+	Users int `json:"users"`
+	POIs  int `json:"pois"`
+}
+
+// conflict rejects a growth-requiring request with 409: the ids are beyond
+// the model's dimensions and this node will not grow (Options.Grow off, or
+// the batch lost a validation race). Distinct from 400 — the request may be
+// perfectly valid at a growth-enabled primary.
+func (s *Server) conflict(w http.ResponseWriter, format string, args ...any) {
+	s.met.observeRejectedRange.Add(1)
+	writeJSON(w, http.StatusConflict, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
 func (s *Server) serveObserve(w http.ResponseWriter, r *http.Request) {
@@ -622,34 +652,83 @@ func (s *Server) serveObserve(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, "decoding body: %v", err)
 		return
 	}
-	if len(req.CheckIns) == 0 {
+	if len(req.CheckIns) == 0 && len(req.NewUsers) == 0 && len(req.NewPOIs) == 0 {
 		s.badRequest(w, "no checkins in request")
 		return
 	}
 	snap := s.snap.load()
-	checkIns := make([]lbsn.CheckIn, len(req.CheckIns))
+	grow := s.opts.Grow
+	if !grow && (len(req.NewUsers) > 0 || len(req.NewPOIs) > 0) {
+		s.conflict(w, "open-world arrivals rejected: growth is disabled on this node")
+		return
+	}
+	// needI tracks the user dimension the batch implies, so friend references
+	// can chain through same-batch arrivals.
+	needI := snap.Model.I
+	batch := tcss.ObserveBatch{NewUsers: make([]lbsn.NewUser, len(req.NewUsers)), NewPOIs: make([]lbsn.POI, len(req.NewPOIs))}
+	for i, u := range req.NewUsers {
+		if u.ID < 0 {
+			s.badRequest(w, "new_user %d: negative id %d", i, u.ID)
+			return
+		}
+		if !s.owns(u.ID) {
+			s.misroute(w, "new_user %d: user %d is not in shard %q's partition", i, u.ID, s.opts.ShardName)
+			return
+		}
+		if u.ID >= needI {
+			needI = u.ID + 1
+		}
+		batch.NewUsers[i] = lbsn.NewUser{ID: u.ID, Friends: u.Friends}
+	}
+	for i, u := range req.NewUsers {
+		for _, f := range u.Friends {
+			if f < 0 || f >= needI {
+				s.badRequest(w, "new_user %d: friend %d out of range [0, %d)", i, f, needI)
+				return
+			}
+		}
+	}
+	for i, p := range req.NewPOIs {
+		if p.ID < 0 {
+			s.badRequest(w, "new_poi %d: negative id %d", i, p.ID)
+			return
+		}
+		batch.NewPOIs[i] = lbsn.POI{
+			ID: p.ID, Loc: geo.Point{Lat: p.Lat, Lon: p.Lon},
+			Category: lbsn.Category(p.Category),
+		}
+	}
+	batch.CheckIns = make([]lbsn.CheckIn, len(req.CheckIns))
 	for i, c := range req.CheckIns {
 		ci := lbsn.CheckIn{User: c.User, POI: c.POI, Month: c.Month, Week: c.Week, Hour: c.Hour}
-		if c.User < 0 || c.User >= snap.Model.I {
-			s.badRequest(w, "checkin %d: user %d out of range [0, %d)", i, c.User, snap.Model.I)
+		if c.User < 0 {
+			s.badRequest(w, "checkin %d: negative user %d", i, c.User)
+			return
+		}
+		if c.User >= snap.Model.I && !grow {
+			s.conflict(w, "checkin %d: user %d beyond model dimension %d and growth is disabled", i, c.User, snap.Model.I)
 			return
 		}
 		if !s.owns(c.User) {
 			s.misroute(w, "checkin %d: user %d is not in shard %q's partition", i, c.User, s.opts.ShardName)
 			return
 		}
-		if c.POI < 0 || c.POI >= snap.Model.J {
-			s.badRequest(w, "checkin %d: poi %d out of range [0, %d)", i, c.POI, snap.Model.J)
+		if c.POI < 0 {
+			s.badRequest(w, "checkin %d: negative poi %d", i, c.POI)
+			return
+		}
+		if c.POI >= snap.Model.J && !grow {
+			s.conflict(w, "checkin %d: poi %d beyond model dimension %d and growth is disabled", i, c.POI, snap.Model.J)
 			return
 		}
 		if k := s.gran.Index(ci); k < 0 || k >= snap.Model.K {
 			s.badRequest(w, "checkin %d: time unit %d out of range [0, %d)", i, k, snap.Model.K)
 			return
 		}
-		checkIns[i] = ci
+		batch.CheckIns[i] = ci
 	}
 
-	cmd := writerCmd{checkIns: checkIns, reply: make(chan writerResult, 1)}
+	cmd := writerCmd{batch: &batch, reply: make(chan writerResult, 1)}
 	select {
 	case s.cmds <- cmd:
 	default:
@@ -661,15 +740,28 @@ func (s *Server) serveObserve(w http.ResponseWriter, r *http.Request) {
 	select {
 	case res := <-cmd.reply:
 		if res.err != nil {
-			if errors.Is(res.err, ErrDegraded) {
+			switch {
+			case errors.Is(res.err, ErrDegraded):
 				s.degraded(w, res.err)
-				return
+			case errors.Is(res.err, core.ErrOutOfRange):
+				// Counted by the writer; the ids need growth this node (or
+				// config) refused.
+				writeJSON(w, http.StatusConflict, errorBody{Error: res.err.Error()})
+			case errors.Is(res.err, core.ErrCompactModel):
+				// Growth needs float64 factors; this node serves a compact
+				// model. 503 — the cluster may still have a f64 primary.
+				writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: res.err.Error()})
+			default:
+				s.met.internalErrors.Add(1)
+				writeJSON(w, http.StatusInternalServerError, errorBody{Error: res.err.Error()})
 			}
-			s.met.internalErrors.Add(1)
-			writeJSON(w, http.StatusInternalServerError, errorBody{Error: res.err.Error()})
 			return
 		}
-		writeJSON(w, http.StatusOK, observeResponse{Added: res.added, Generation: res.gen})
+		snap := s.snap.load()
+		writeJSON(w, http.StatusOK, observeResponse{
+			Added: res.added, Generation: res.gen,
+			Users: snap.Model.I, POIs: snap.Model.J,
+		})
 		s.met.observeLat.observe(s.opts.now().Sub(started))
 	case <-ctx.Done():
 		// The batch stays queued and will still be applied; the client just

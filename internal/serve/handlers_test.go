@@ -291,11 +291,10 @@ func TestObserveHandler(t *testing.T) {
 		}
 	}
 
-	// Malformed bodies and out-of-range check-ins.
+	// Malformed bodies and negative ids are 400s.
 	for name, body := range map[string]string{
 		"not json":    "{",
 		"empty batch": `{"checkins":[]}`,
-		"bad user":    `{"checkins":[{"user":99999,"poi":1,"month":1}]}`,
 		"bad poi":     `{"checkins":[{"user":1,"poi":-4,"month":1}]}`,
 		"bad month":   `{"checkins":[{"user":1,"poi":1,"month":40}]}`,
 	} {
@@ -306,6 +305,22 @@ func TestObserveHandler(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	// Out-of-range ids on a node without growth enabled are 409 Conflict —
+	// they would be valid at a growth-enabled primary.
+	for name, body := range map[string]string{
+		"oob user": `{"checkins":[{"user":99999,"poi":1,"month":1}]}`,
+		"oob poi":  `{"checkins":[{"user":1,"poi":99999,"month":1}]}`,
+		"arrival":  `{"new_users":[{"id":99999}]}`,
+	} {
+		resp, err := http.Post(hs.URL+"/v1/observe", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Errorf("%s: status %d, want 409", name, resp.StatusCode)
 		}
 	}
 	if srv.Generation() != 1 {

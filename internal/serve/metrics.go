@@ -91,6 +91,14 @@ type metrics struct {
 	snapshotSwaps  atomic.Int64
 	snapshotSaves  atomic.Int64
 
+	// Open-world growth counters: user/POI rows added by observe-path growth,
+	// growth batches rejected because the model is compact (503), and batches
+	// rejected because growth is disabled or failed range checks (409).
+	observeGrownUsers      atomic.Int64
+	observeGrownPOIs       atomic.Int64
+	observeRejectedCompact atomic.Int64
+	observeRejectedRange   atomic.Int64
+
 	// Reliability counters, all monotonic: write-path failures, snapshot
 	// save retries/failures, circuit-breaker transitions, and loads the
 	// checksum rejected.
@@ -215,6 +223,10 @@ type metricsSnapshot struct {
 		Storage      string  `json:"storage"`
 		FactorBytes  int64   `json:"factor_bytes"`
 		BytesPerUser float64 `json:"bytes_per_user"`
+		// Users and POIs are the served snapshot's dimensions — under
+		// open-world growth these rise over a node's lifetime.
+		Users int `json:"users"`
+		POIs  int `json:"pois"`
 	} `json:"model"`
 
 	// Coalesce reports the request-batching pipeline: whether it is on, how
@@ -237,6 +249,14 @@ type metricsSnapshot struct {
 		CellsAdded int64 `json:"cells_added"`
 		QueueCap   int   `json:"queue_capacity"`
 		QueueLen   int   `json:"queue_length"`
+		// Open-world growth: whether this node accepts growth batches, how
+		// many user/POI rows observes have added, and the typed rejections
+		// (compact storage → 503, out-of-range with growth off → 409).
+		GrowEnabled        bool  `json:"grow_enabled"`
+		GrownUsers         int64 `json:"observe_grown_users"`
+		GrownPOIs          int64 `json:"observe_grown_pois"`
+		RejectedCompact    int64 `json:"observe_rejected_compact"`
+		RejectedOutOfRange int64 `json:"observe_rejected_out_of_range"`
 	} `json:"observe_pipeline"`
 
 	Admission struct {
@@ -320,6 +340,8 @@ func (s *Server) collectMetrics(includeWindows bool) metricsSnapshot {
 		out.Snapshot.AgeSeconds = s.opts.now().Sub(snap.Created).Seconds()
 		out.Model.Storage = snap.Model.Mode.String()
 		out.Model.FactorBytes = snap.Model.FactorBytes()
+		out.Model.Users = snap.Model.I
+		out.Model.POIs = snap.Model.J
 		if snap.Model.I > 0 {
 			out.Model.BytesPerUser = float64(out.Model.FactorBytes) / float64(snap.Model.I)
 		}
@@ -347,6 +369,11 @@ func (s *Server) collectMetrics(includeWindows bool) metricsSnapshot {
 	out.ObserveStats.CellsAdded = m.observeAdded.Load()
 	out.ObserveStats.QueueCap = cap(s.cmds)
 	out.ObserveStats.QueueLen = len(s.cmds)
+	out.ObserveStats.GrowEnabled = s.opts.Grow
+	out.ObserveStats.GrownUsers = m.observeGrownUsers.Load()
+	out.ObserveStats.GrownPOIs = m.observeGrownPOIs.Load()
+	out.ObserveStats.RejectedCompact = m.observeRejectedCompact.Load()
+	out.ObserveStats.RejectedOutOfRange = m.observeRejectedRange.Load()
 
 	out.Admission.Inflight = s.adm.inflight.Load()
 	out.Admission.Queued = s.adm.waiting.Load()

@@ -37,7 +37,6 @@ import (
 	"tcss"
 	"tcss/internal/core"
 	"tcss/internal/fault"
-	"tcss/internal/lbsn"
 	"tcss/internal/registry"
 )
 
@@ -80,6 +79,16 @@ type Options struct {
 
 	// Online configures the incremental model update per observe batch.
 	Online tcss.OnlineConfig
+
+	// Grow lets /v1/observe reference users and POIs beyond the current
+	// model dimensions: the batch may carry new_users/new_pois arrival
+	// metadata and the model grows (warm-started rows, extended side
+	// information) inside the single-writer path, publishing the grown
+	// snapshot as the next generation. When false (the default), out-of-range
+	// ids are rejected with 409 Conflict before reaching the writer. Growth
+	// requires float64 factor storage; on a compact model the writer rejects
+	// the batch with 503 and counts it in observe_pipeline.rejected_compact.
+	Grow bool
 
 	// Registry, when non-nil, is the multi-model registry the read path
 	// routes through: extra models (sequential scorers) registered on it are
@@ -278,10 +287,10 @@ func (o Options) withDefaults() Options {
 
 // writerCmd is a command for the single-writer update goroutine.
 type writerCmd struct {
-	checkIns []lbsn.CheckIn    // observe batch
-	save     bool              // persist the current snapshot to SnapshotPath
-	pub      *Snapshot         // externally built snapshot to publish (replication)
-	reply    chan writerResult // buffered(1); always receives exactly once
+	batch *tcss.ObserveBatch // observe batch (check-ins + open-world arrivals)
+	save  bool               // persist the current snapshot to SnapshotPath
+	pub   *Snapshot          // externally built snapshot to publish (replication)
+	reply chan writerResult  // buffered(1); always receives exactly once
 }
 
 type writerResult struct {
@@ -534,11 +543,11 @@ func (s *Server) dispatch(cmd writerCmd) writerResult {
 	case cmd.pub != nil:
 		return s.handlePublish(cmd.pub)
 	default:
-		return s.handleObserve(cmd.checkIns)
+		return s.handleObserve(cmd.batch)
 	}
 }
 
-func (s *Server) handleObserve(checkIns []lbsn.CheckIn) writerResult {
+func (s *Server) handleObserve(batch *tcss.ObserveBatch) writerResult {
 	cur := s.snap.load()
 	// The breaker guards the model-mutation path: while open, observes are
 	// rejected instantly (readers keep the last good snapshot) until the
@@ -547,20 +556,38 @@ func (s *Server) handleObserve(checkIns []lbsn.CheckIn) writerResult {
 		s.met.breakerRejected.Add(1)
 		return writerResult{gen: cur.Gen, err: err}
 	}
-	added, model, side, err := s.observeOnce(checkIns)
+	added, model, side, err := s.observeOnce(batch)
 	if err != nil {
 		s.met.observeFailures.Add(1)
-		if s.brk.failure(err) {
-			s.met.breakerTrips.Add(1)
+		switch {
+		case errors.Is(err, core.ErrCompactModel):
+			// A growth batch on a compact model is a routing/configuration
+			// problem, not a model-path fault: count it separately and keep
+			// the breaker closed so in-range observes still flow.
+			s.met.observeRejectedCompact.Add(1)
+		case errors.Is(err, core.ErrOutOfRange):
+			s.met.observeRejectedRange.Add(1)
+		default:
+			if s.brk.failure(err) {
+				s.met.breakerTrips.Add(1)
+			}
 		}
 		return writerResult{gen: cur.Gen, err: err}
 	}
 	if s.brk.success() {
 		s.met.breakerRecoveries.Add(1)
 	}
-	if added == 0 {
+	// Pure growth (arrivals without novel cells) still publishes: the source
+	// returns a fresh model object whenever dimensions changed.
+	if added == 0 && model == cur.Model {
 		s.met.observeNoop.Add(1)
 		return writerResult{gen: cur.Gen}
+	}
+	if grew := model.I - cur.Model.I; grew > 0 {
+		s.met.observeGrownUsers.Add(int64(grew))
+	}
+	if grew := model.J - cur.Model.J; grew > 0 {
+		s.met.observeGrownPOIs.Add(int64(grew))
 	}
 	next := &Snapshot{
 		Gen:     cur.Gen + 1,
@@ -577,11 +604,11 @@ func (s *Server) handleObserve(checkIns []lbsn.CheckIn) writerResult {
 
 // observeOnce runs one guarded observe: the injected fault seam first, then
 // the source's transactional model update (which itself reverts on error).
-func (s *Server) observeOnce(checkIns []lbsn.CheckIn) (int, *core.Model, *core.SideInfo, error) {
+func (s *Server) observeOnce(batch *tcss.ObserveBatch) (int, *core.Model, *core.SideInfo, error) {
 	if err := s.opts.Faults.Before("observe"); err != nil {
 		return 0, nil, nil, err
 	}
-	return s.src.Observe(checkIns, s.opts.Online)
+	return s.src.Observe(*batch, s.opts.Online)
 }
 
 func (s *Server) handleSave() writerResult {

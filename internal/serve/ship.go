@@ -29,6 +29,14 @@ type ShippedSide struct {
 	EntropyW   []float64 `json:"entropy_w"`
 	OwnPOIs    [][]int   `json:"own_pois"`
 	FriendPOIs [][]int   `json:"friend_pois"`
+	// Lats/Lons, when present, are the POI coordinates (len == model.J).
+	// They are O(J) — unlike the O(J²) matrix — and let a replica whose
+	// static distance matrix predates open-world growth extend it
+	// incrementally instead of rejecting the shipment. Optional and
+	// backward compatible: pre-growth shipments simply omit them, and the
+	// wire version stays ShipVersion 1.
+	Lats []float64 `json:"lats,omitempty"`
+	Lons []float64 `json:"lons,omitempty"`
 }
 
 // EncodeShipment serializes a snapshot for replication: one outer CRC32-C
@@ -43,11 +51,20 @@ func EncodeShipment(snap *Snapshot) ([]byte, error) {
 	if err := snap.Model.SaveBinary(&model, snap.Gen); err != nil {
 		return nil, fmt.Errorf("serve: encoding shipped model: %w", err)
 	}
-	side, err := json.Marshal(ShippedSide{
+	shipped := ShippedSide{
 		EntropyW:   snap.Side.EntropyW,
 		OwnPOIs:    snap.Side.OwnPOIs,
 		FriendPOIs: snap.Side.FriendPOIs,
-	})
+	}
+	if len(snap.Side.Locs) >= snap.Model.J {
+		shipped.Lats = make([]float64, snap.Model.J)
+		shipped.Lons = make([]float64, snap.Model.J)
+		for j := 0; j < snap.Model.J; j++ {
+			shipped.Lats[j] = snap.Side.Locs[j].Lat
+			shipped.Lons[j] = snap.Side.Locs[j].Lon
+		}
+	}
+	side, err := json.Marshal(shipped)
 	if err != nil {
 		return nil, fmt.Errorf("serve: encoding shipped side info: %w", err)
 	}
@@ -65,7 +82,11 @@ func EncodeShipment(snap *Snapshot) ([]byte, error) {
 
 // DecodeShipment verifies and decodes a shipment produced by EncodeShipment,
 // grafting dist (the receiver's static POI distance matrix) into the side
-// information. Corruption fails with an error wrapping fault.ErrChecksum;
+// information. When the shipped model has grown past dist (open-world
+// growth at the primary) and the shipment carries POI coordinates, the
+// matrix is extended incrementally (geo.DistanceMatrix.Grown) — or built
+// from scratch when dist is nil; without coordinates a dimension mismatch
+// is an error. Corruption fails with an error wrapping fault.ErrChecksum;
 // callers keep serving their last good snapshot in that case.
 func DecodeShipment(data []byte, dist *geo.DistanceMatrix) (*core.Model, *core.SideInfo, uint64, error) {
 	version, wire, err := fault.ReadFramed(data)
@@ -94,11 +115,33 @@ func DecodeShipment(data []byte, dist *geo.DistanceMatrix) (*core.Model, *core.S
 		return nil, nil, 0, fmt.Errorf("serve: shipped side info shape (%d users, %d POIs) does not match model %dx%d",
 			len(shipped.OwnPOIs), len(shipped.EntropyW), model.I, model.J)
 	}
+	var pts []geo.Point
+	if len(shipped.Lats) == model.J && len(shipped.Lons) == model.J {
+		pts = make([]geo.Point, model.J)
+		for j := range pts {
+			pts[j] = geo.Point{Lat: shipped.Lats[j], Lon: shipped.Lons[j]}
+		}
+	}
+	switch {
+	case dist != nil && dist.N == model.J:
+		// Local matrix matches the shipped model: the normal graft.
+	case pts != nil && dist != nil && dist.N < model.J:
+		dist = dist.Grown(pts)
+	case pts != nil:
+		dist = geo.NewDistanceMatrix(pts)
+	default:
+		n := 0
+		if dist != nil {
+			n = dist.N
+		}
+		return nil, nil, 0, fmt.Errorf("serve: shipment model has %d POIs but local distance matrix covers %d and no coordinates were shipped", model.J, n)
+	}
 	side := &core.SideInfo{
 		Dist:       dist,
 		EntropyW:   shipped.EntropyW,
 		OwnPOIs:    shipped.OwnPOIs,
 		FriendPOIs: shipped.FriendPOIs,
+		Locs:       pts,
 	}
 	return model, side, gen, nil
 }

@@ -37,10 +37,12 @@ type Source interface {
 	Snapshot() (*core.Model, *core.SideInfo)
 	// Granularity maps observe check-ins to tensor time units.
 	Granularity() lbsn.Granularity
-	// Observe folds a batch and returns the number of genuinely new tensor
-	// cells plus the fresh model/side pair to publish (ignored when added is
-	// zero). Read-only sources return ErrReadOnly.
-	Observe(checkIns []lbsn.CheckIn, cfg tcss.OnlineConfig) (added int, model *core.Model, side *core.SideInfo, err error)
+	// Observe folds a batch — check-ins plus any open-world arrivals — and
+	// returns the number of genuinely new tensor cells plus the fresh
+	// model/side pair to publish. The pair must be fresh objects whenever the
+	// model changed (including pure growth with zero new cells, so the writer
+	// can detect it by pointer); read-only sources return ErrReadOnly.
+	Observe(batch tcss.ObserveBatch, cfg tcss.OnlineConfig) (added int, model *core.Model, side *core.SideInfo, err error)
 	// ReadOnly reports whether Observe always fails with ErrReadOnly; the
 	// handlers use it to reject writes before they reach the writer queue.
 	ReadOnly() bool
@@ -60,11 +62,13 @@ func (s *RecommenderSource) Snapshot() (*core.Model, *core.SideInfo) {
 // Granularity returns the granularity the recommender was fitted at.
 func (s *RecommenderSource) Granularity() lbsn.Granularity { return s.Rec.Gran }
 
-// Observe applies the batch transactionally and returns the recommender's
-// fresh model/side objects (Observe swaps in new values, never mutates
-// published ones, so earlier snapshots stay internally consistent).
-func (s *RecommenderSource) Observe(checkIns []lbsn.CheckIn, cfg tcss.OnlineConfig) (int, *core.Model, *core.SideInfo, error) {
-	added, err := s.Rec.Observe(checkIns, cfg)
+// Observe applies the batch transactionally via the open-world path — model
+// and side information grow when the batch references users or POIs beyond
+// the current dimensions — and returns the recommender's fresh model/side
+// objects (ObserveOpen swaps in new values, never mutates published ones, so
+// earlier snapshots stay internally consistent).
+func (s *RecommenderSource) Observe(batch tcss.ObserveBatch, cfg tcss.OnlineConfig) (int, *core.Model, *core.SideInfo, error) {
+	added, err := s.Rec.ObserveOpen(batch, cfg)
 	if err != nil {
 		return 0, nil, nil, err
 	}
@@ -90,7 +94,7 @@ func (s *StaticSource) Snapshot() (*core.Model, *core.SideInfo) { return s.Model
 func (s *StaticSource) Granularity() lbsn.Granularity { return s.Gran }
 
 // Observe always fails with ErrReadOnly.
-func (s *StaticSource) Observe([]lbsn.CheckIn, tcss.OnlineConfig) (int, *core.Model, *core.SideInfo, error) {
+func (s *StaticSource) Observe(tcss.ObserveBatch, tcss.OnlineConfig) (int, *core.Model, *core.SideInfo, error) {
 	return 0, nil, nil, ErrReadOnly
 }
 

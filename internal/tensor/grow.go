@@ -1,0 +1,56 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grow extends the tensor's dimensions in place. Dimensions can only grow;
+// existing entries and their values are preserved. The cell key depends on
+// DimJ and DimK, so the index is rebuilt when either changes — O(nnz), with
+// no per-entry allocation.
+func (t *COO) Grow(newI, newJ, newK int) {
+	if newI < t.DimI || newJ < t.DimJ || newK < t.DimK {
+		panic(fmt.Sprintf("tensor: Grow cannot shrink %dx%dx%d to %dx%dx%d",
+			t.DimI, t.DimJ, t.DimK, newI, newJ, newK))
+	}
+	rekey := newJ != t.DimJ || newK != t.DimK
+	t.DimI, t.DimJ, t.DimK = newI, newJ, newK
+	if !rekey {
+		return
+	}
+	for k := range t.index {
+		delete(t.index, k)
+	}
+	for pos, e := range t.entries {
+		t.index[t.key(e.I, e.J, e.K)] = pos
+	}
+}
+
+// DecayScale multiplies every stored value by factor and drops entries whose
+// decayed value falls below floor, preserving the invariant that stored
+// entries are nonzero. It implements the time-decayed check-in weighting of
+// continuous learning: with factor 2^(-1/halfLife) applied once per observe
+// step, a positive's training weight halves every halfLife steps and is
+// eventually forgotten entirely. Returns the number of entries dropped.
+func (t *COO) DecayScale(factor, floor float64) int {
+	if factor < 0 || floor < 0 {
+		panic(fmt.Sprintf("tensor: DecayScale with factor %g floor %g", factor, floor))
+	}
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		e.Val *= factor
+		if v := math.Abs(e.Val); v != 0 && v >= floor {
+			kept = append(kept, e)
+		}
+	}
+	dropped := len(t.entries) - len(kept)
+	t.entries = kept
+	for k := range t.index {
+		delete(t.index, k)
+	}
+	for pos, e := range t.entries {
+		t.index[t.key(e.I, e.J, e.K)] = pos
+	}
+	return dropped
+}

@@ -1,0 +1,79 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCOOGrowRekeysIndex(t *testing.T) {
+	x := NewCOO(3, 4, 5)
+	x.Set(1, 2, 3, 0.5)
+	x.Set(2, 3, 4, 1.5)
+	x.Grow(6, 9, 5)
+	if x.DimI != 6 || x.DimJ != 9 || x.DimK != 5 {
+		t.Fatalf("dims = %dx%dx%d", x.DimI, x.DimJ, x.DimK)
+	}
+	if got := x.At(1, 2, 3); got != 0.5 {
+		t.Errorf("At(1,2,3) = %g after grow", got)
+	}
+	if got := x.At(2, 3, 4); got != 1.5 {
+		t.Errorf("At(2,3,4) = %g after grow", got)
+	}
+	if x.Has(1, 2, 4) || x.Has(5, 8, 0) {
+		t.Error("phantom entries after rekey")
+	}
+	x.Set(5, 8, 4, 2.0)
+	if got := x.At(5, 8, 4); got != 2.0 {
+		t.Errorf("new-region entry = %g", got)
+	}
+	if x.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3", x.NNZ())
+	}
+}
+
+func TestCOOGrowShrinkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Grow shrink did not panic")
+		}
+	}()
+	NewCOO(3, 4, 5).Grow(3, 3, 5)
+}
+
+func TestDecayScale(t *testing.T) {
+	x := NewCOO(2, 2, 2)
+	x.Set(0, 0, 0, 1.0)
+	x.Set(1, 1, 1, 0.1)
+	x.Set(0, 1, 0, 0.3)
+	dropped := x.DecayScale(0.5, 0.2)
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if got := x.At(0, 0, 0); got != 0.5 {
+		t.Errorf("surviving entry = %g, want 0.5", got)
+	}
+	if x.Has(1, 1, 1) || x.Has(0, 1, 0) {
+		t.Error("sub-floor entries not dropped")
+	}
+	if x.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1", x.NNZ())
+	}
+	// Index must still be consistent after the rebuild.
+	x.Set(0, 0, 0, 0)
+	if x.NNZ() != 0 {
+		t.Errorf("NNZ after delete = %d", x.NNZ())
+	}
+}
+
+func TestDecayScaleHalfLife(t *testing.T) {
+	x := NewCOO(1, 1, 1)
+	x.Set(0, 0, 0, 1.0)
+	const halfLife = 4.0
+	factor := math.Exp2(-1 / halfLife)
+	for i := 0; i < 4; i++ {
+		x.DecayScale(factor, 0.01)
+	}
+	if got := x.At(0, 0, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("after %g steps weight = %g, want 0.5", halfLife, got)
+	}
+}

@@ -140,6 +140,7 @@ func FitSplit(ds *Dataset, gran Granularity, cfg Config, trainFrac float64) (*Re
 	if err != nil {
 		return nil, err
 	}
+	side.Locs = ds.Locations()
 	m, err := core.Train(train, side, cfg)
 	if err != nil {
 		return nil, err
@@ -154,22 +155,37 @@ func FitSplit(ds *Dataset, gran Granularity, cfg Config, trainFrac float64) (*Re
 // with its dataset, rebuilding the train/test split and side information the
 // Recommender needs, without retraining. The split is reproduced from
 // cfg.Seed and trainFrac, so a model trained by FitSplit and saved to disk
-// can be re-attached to the identical split after a restart. The model shape
-// must match the dataset's tensor at the given granularity.
+// can be re-attached to the identical split after a restart.
+//
+// The model may be LARGER than the dataset's tensor in users and POIs — the
+// shape a snapshot reaches after open-world growth (ObserveOpen). The dataset
+// and split are then grown to the model's dimensions with placeholder
+// entities, so a restart resumes serving the grown factor rows bit-identically
+// while the extra rows' side information refills as check-ins arrive. A model
+// smaller than the dataset, or with a different time axis, is still rejected.
 func AttachModel(m *Model, ds *Dataset, gran Granularity, cfg Config, trainFrac float64) (*Recommender, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, fmt.Errorf("tcss: invalid dataset: %w", err)
 	}
 	full := ds.Tensor(gran)
-	if m.I != full.DimI || m.J != full.DimJ || m.K != full.DimK {
+	if m.I < full.DimI || m.J < full.DimJ || m.K != full.DimK {
 		return nil, fmt.Errorf("tcss: model shape %dx%dx%d does not match dataset tensor %dx%dx%d",
 			m.I, m.J, m.K, full.DimI, full.DimJ, full.DimK)
 	}
 	train, test := full.Split(trainFrac, rand.New(rand.NewSource(cfg.Seed)))
+	if m.I > full.DimI || m.J > full.DimJ {
+		grown, err := ds.Grown(nil, nil, m.I, m.J)
+		if err != nil {
+			return nil, err
+		}
+		ds = grown
+		train.Grow(m.I, m.J, train.DimK)
+	}
 	side, err := core.BuildSideInfo(ds.Social, ds.Distances(), train)
 	if err != nil {
 		return nil, err
 	}
+	side.Locs = ds.Locations()
 	return &Recommender{
 		Model: m, Dataset: ds, Gran: gran,
 		Train: train, Test: test, Side: side, cfg: cfg,
@@ -229,6 +245,11 @@ type OnlineConfig = core.OnlineConfig
 // training configuration.
 func DefaultOnlineConfig() OnlineConfig { return core.DefaultOnlineConfig() }
 
+// GrowthHints carries warm-start information for rows appended by open-world
+// growth (see core.GrowthHints). Set OnlineConfig.GrowHints to
+// &GrowthHints{Random: true} to ablate warm initialization.
+type GrowthHints = core.GrowthHints
+
 // ErrObserveReverted is the sentinel wrapped by Observe when the update could
 // not be applied atomically (the side-information rebuild failed after the
 // factor update succeeded). The Recommender is left exactly as it was before
@@ -274,6 +295,7 @@ func (r *Recommender) Observe(checkIns []lbsn.CheckIn, cfg OnlineConfig) (int, e
 	if err != nil {
 		return 0, fmt.Errorf("%w: rebuilding side info: %v", ErrObserveReverted, err)
 	}
+	side.Locs = r.Dataset.Locations()
 	model, err = model.ToStorage(mode)
 	if err != nil {
 		return 0, fmt.Errorf("%w: re-compacting model: %v", ErrObserveReverted, err)

@@ -333,11 +333,33 @@ func TestAttachModelRoundTrip(t *testing.T) {
 			t.Fatalf("rank %d: %+v vs %+v", i, a[i], b[i])
 		}
 	}
-	// Shape mismatch must be rejected.
-	wrong := core.NewModel(m.I+1, m.J, m.K, m.Rank)
-	if _, err := AttachModel(wrong, ds, Month, cfg, 0.8); err == nil {
-		t.Fatal("mismatched model shape must be rejected")
+	// A model smaller than the dataset, or with a different time axis, must
+	// be rejected.
+	if m.I > 1 {
+		small := core.NewModel(m.I-1, m.J, m.K, m.Rank)
+		if _, err := AttachModel(small, ds, Month, cfg, 0.8); err == nil {
+			t.Fatal("smaller model shape must be rejected")
+		}
 	}
+	wrongK := core.NewModel(m.I, m.J, m.K+1, m.Rank)
+	if _, err := AttachModel(wrongK, ds, Month, cfg, 0.8); err == nil {
+		t.Fatal("mismatched time axis must be rejected")
+	}
+	// A LARGER model is the open-world growth case: the dataset is grown to
+	// match and serving resumes with the extra rows intact.
+	bigger := core.NewModel(m.I+2, m.J+1, m.K, m.Rank)
+	grownRec, err := AttachModel(bigger, ds, Month, cfg, 0.8)
+	if err != nil {
+		t.Fatalf("grown model must attach: %v", err)
+	}
+	if grownRec.Dataset.NumUsers != m.I+2 || len(grownRec.Dataset.POIs) != m.J+1 {
+		t.Fatalf("dataset not grown to model dims: %d users, %d POIs",
+			grownRec.Dataset.NumUsers, len(grownRec.Dataset.POIs))
+	}
+	if got := len(grownRec.Side.OwnPOIs); got != m.I+2 {
+		t.Fatalf("side info covers %d users, want %d", got, m.I+2)
+	}
+	_ = grownRec.Recommend(m.I+1, 3, 5) // grown row must be servable
 }
 
 func TestFriendPOIs(t *testing.T) {
