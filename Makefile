@@ -7,7 +7,8 @@ KERNEL_BENCH = 'BenchmarkLoss(Naive|NegSampling|Rewritten)$$|BenchmarkLossRewrit
 
 .PHONY: build test race vet bench bench-all check gradcheck fuzz golden-update \
 	serve loadgen serve-bench serve-smoke resume-smoke crash-smoke bench-pr4 \
-	quant-smoke bench-pr6 cluster-smoke bench-pr7 ab-smoke drift-smoke bench-pr9
+	quant-smoke bench-pr6 cluster-smoke bench-pr7 ab-smoke drift-smoke bench-pr9 \
+	chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -226,6 +227,16 @@ bench-pr6:
 # CLUSTER_SMOKE_USERS=20000.
 cluster-smoke:
 	bash scripts/cluster_smoke.sh
+
+# Network chaos end-to-end smoke: spawn a real 2-shard × 1-replica cluster
+# with a fault-injecting proxy on the gateway's link to one primary, drive a
+# verified closed-loop burst through the gateway while the proxy walks a
+# 503-burst → hang → heal schedule, and require zero response mismatches, at
+# least one injected fault and failover, and a healthy rollup after heal.
+# Exits nonzero if any 200 under chaos differs from the locally recomputed
+# answer. Scale with e.g. CHAOS_SMOKE_DURATION=4s.
+chaos-smoke:
+	bash scripts/chaos_smoke.sh
 
 # The PR 7 cluster-serving benchmark: the same 4×2 spawned cluster driven
 # through the gateway with verification on; numbers recorded in

@@ -1,0 +1,150 @@
+// Command chaosproxy is a fault-injecting reverse proxy for chaos smoke
+// tests: it forwards everything to -target until its admin endpoint flips it
+// into a fault mode, letting a shell harness impose network failures on one
+// real link of a spawned cluster without touching the processes themselves.
+//
+//	chaosproxy -listen 127.0.0.1:19301 -target http://127.0.0.1:19210 \
+//	           -admin 127.0.0.1:19302
+//
+// Admin API (separate listener, never fault-injected):
+//
+//	POST /fault?mode=pass|error|hang|slow|truncate   switch mode
+//	GET  /fault                                      {"mode":..,"injected":..}
+//
+// Modes: pass forwards untouched; error answers 503 without forwarding (a
+// crashed or overloaded node); hang holds the request until the client gives
+// up (a wedged node — deadline budgets must bound it); slow forwards after a
+// 500ms delay (tail latency — hedged reads race past it); truncate forwards
+// but tears the response body mid-stream (a broken connection — clients must
+// treat partial bytes as failure, not truth).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+var validModes = map[string]bool{
+	"pass": true, "error": true, "hang": true, "slow": true, "truncate": true,
+}
+
+type proxy struct {
+	mode     atomic.Value // string
+	injected atomic.Int64
+	rp       *httputil.ReverseProxy
+}
+
+// truncatedBody cuts the upstream response off after limit bytes; the
+// reverse proxy aborts the client connection mid-response, so the client
+// observes a torn body whose Content-Length never arrives.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+func (p *proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch p.mode.Load().(string) {
+	case "error":
+		p.injected.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":"chaosproxy: injected 503"}`+"\n")
+		return
+	case "hang":
+		p.injected.Add(1)
+		<-r.Context().Done()
+		return
+	case "slow":
+		p.injected.Add(1)
+		timer := time.NewTimer(500 * time.Millisecond)
+		select {
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+	case "truncate":
+		p.injected.Add(1)
+	}
+	p.rp.ServeHTTP(w, r)
+}
+
+func (p *proxy) serveAdmin(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		mode := r.URL.Query().Get("mode")
+		if !validModes[mode] {
+			http.Error(w, fmt.Sprintf("unknown mode %q", mode), http.StatusBadRequest)
+			return
+		}
+		p.mode.Store(mode)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"mode\":%q,\"injected\":%d}\n",
+		p.mode.Load().(string), p.injected.Load())
+}
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:19301", "proxied (fault-injected) listen address")
+		admin  = flag.String("admin", "127.0.0.1:19302", "admin listen address (POST /fault?mode=...)")
+		target = flag.String("target", "", "upstream base URL to forward to")
+	)
+	flag.Parse()
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "chaosproxy: -target is required")
+		os.Exit(1)
+	}
+	u, err := url.Parse(*target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaosproxy:", err)
+		os.Exit(1)
+	}
+
+	p := &proxy{rp: httputil.NewSingleHostReverseProxy(u)}
+	p.mode.Store("pass")
+	p.rp.ModifyResponse = func(resp *http.Response) error {
+		if p.mode.Load().(string) == "truncate" && resp.Body != nil {
+			resp.Body = &truncatedBody{rc: resp.Body, remaining: 32}
+		}
+		return nil
+	}
+	// The proxy aborting a torn copy is expected noise, not a crash.
+	p.rp.ErrorLog = nil
+
+	adminMux := http.NewServeMux()
+	adminMux.HandleFunc("/fault", p.serveAdmin)
+	go func() {
+		if err := http.ListenAndServe(*admin, adminMux); err != nil {
+			fmt.Fprintln(os.Stderr, "chaosproxy admin:", err)
+			os.Exit(1)
+		}
+	}()
+
+	fmt.Printf("chaosproxy: %s -> %s (admin %s)\n", *listen, *target, *admin)
+	if err := http.ListenAndServe(*listen, p); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosproxy:", err)
+		os.Exit(1)
+	}
+}

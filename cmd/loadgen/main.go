@@ -81,16 +81,17 @@ type options struct {
 
 // sample is one completed request, classified for aggregation. status and ms
 // describe the final attempt; retries counts the 503-and-retried attempts
-// before it.
+// before it, netRetries the 504s, transport errors and torn bodies retried.
 type sample struct {
-	observe  bool
-	next     bool
-	status   int
-	ms       float64
-	cacheHit bool
-	retries  int
-	model    string // routed model from the X-Model header
-	body     []byte // final-attempt response body, captured only under -verify
+	observe    bool
+	next       bool
+	status     int
+	ms         float64
+	cacheHit   bool
+	retries    int
+	netRetries int
+	model      string // routed model from the X-Model header
+	body       []byte // final-attempt response body, captured only under -verify
 }
 
 func main() {
@@ -110,7 +111,7 @@ func main() {
 	flag.IntVar(&o.users, "users", 0, "user id range for -url mode (ignored when self-hosting)")
 	flag.IntVar(&o.pois, "pois", 0, "poi id range for -url mode (ignored when self-hosting)")
 	flag.IntVar(&o.times, "times", 0, "time unit range for -url mode (ignored when self-hosting)")
-	flag.IntVar(&o.retries, "retries", 3, "max retries per request on 503 (0 disables)")
+	flag.IntVar(&o.retries, "retries", 3, "max retries per request on 503, 504 and transport errors (0 disables)")
 	flag.DurationVar(&o.retryCap, "retry-cap", 500*time.Millisecond, "ceiling on per-retry backoff (Retry-After is clamped to this)")
 	flag.StringVar(&o.out, "out", "BENCH_PR3.json", "output JSON path")
 	flag.StringVar(&o.storage, "storage", "", "self-host factor storage: f64 (default), f32, int8")
@@ -314,6 +315,8 @@ func run(o options) (err error) {
 		report.Errors.Shed503, report.Errors.Deadline504, report.Errors.Other)
 	fmt.Printf("retries: %d recommend, %d observe (on 503, honoring Retry-After, cap %s)\n",
 		report.Recommend.Retries, report.Observe.Retries, o.retryCap)
+	fmt.Printf("net retries: %d recommend, %d next, %d observe (on 504, transport errors and torn bodies)\n",
+		report.Recommend.NetRetries, report.Next.NetRetries, report.Observe.NetRetries)
 	printServerStats(report.Server)
 	fmt.Printf("wrote %s\n", o.out)
 	if report.Verify != nil {
@@ -674,32 +677,46 @@ func (v *verifier) record(msg string) {
 	v.mu.Unlock()
 }
 
-// timed issues one request with up to o.retries retries, retrying only on
-// 503 (shed or degraded). The wait before each retry is the larger of the
-// doubling client backoff and the server's Retry-After header, capped at
-// o.retryCap and jittered to [wait/2, wait) so retry storms decorrelate.
-// The returned latency covers the whole episode, backoff included.
+// timed issues one request with up to o.retries retries. Retried outcomes:
+// 503 (shed or degraded), 504 (deadline budget drained at the gateway),
+// transport errors (connection refused/reset, a partitioned gateway) and
+// torn response bodies — the latter classes counted separately as network
+// retries. The wait before each retry is the larger of the doubling client
+// backoff and the server's Retry-After header, capped at o.retryCap and
+// jittered to [wait/2, wait) so retry storms decorrelate. The returned
+// latency covers the whole episode, backoff included.
 func timed(o options, rng *rand.Rand, send func() (*http.Response, error)) sample {
 	start := time.Now()
 	var s sample
 	backoff := 25 * time.Millisecond
 	for attempt := 0; ; attempt++ {
+		var retryAfter string
 		resp, err := send()
 		if err != nil {
-			s.status = 0
-			break
-		}
-		s.status = resp.StatusCode
-		s.cacheHit = resp.Header.Get("X-Cache") == "HIT"
-		s.model = resp.Header.Get("X-Model")
-		retryAfter := resp.Header.Get("Retry-After")
-		if o.ver != nil {
-			s.body, _ = io.ReadAll(resp.Body)
+			s.status, s.cacheHit, s.model, s.body = 0, false, "", nil
 		} else {
-			io.Copy(io.Discard, resp.Body)
+			s.status = resp.StatusCode
+			s.cacheHit = resp.Header.Get("X-Cache") == "HIT"
+			s.model = resp.Header.Get("X-Model")
+			retryAfter = resp.Header.Get("Retry-After")
+			var berr error
+			if o.ver != nil {
+				s.body, berr = io.ReadAll(resp.Body)
+			} else {
+				_, berr = io.Copy(io.Discard, resp.Body)
+			}
+			resp.Body.Close()
+			if berr != nil {
+				// A torn body is as useless as no response: retry it like a
+				// transport failure rather than trusting partial bytes.
+				err = berr
+				s.status, s.body = 0, nil
+			}
 		}
-		resp.Body.Close()
-		if s.status != http.StatusServiceUnavailable || attempt >= o.retries {
+		retry := err != nil ||
+			s.status == http.StatusServiceUnavailable ||
+			s.status == http.StatusGatewayTimeout
+		if !retry || attempt >= o.retries {
 			break
 		}
 		wait := backoff
@@ -716,7 +733,11 @@ func timed(o options, rng *rand.Rand, send func() (*http.Response, error)) sampl
 		}
 		time.Sleep(wait)
 		backoff *= 2
-		s.retries++
+		if s.status == http.StatusServiceUnavailable {
+			s.retries++
+		} else {
+			s.netRetries++
+		}
 	}
 	s.ms = float64(time.Since(start)) / float64(time.Millisecond)
 	return s
@@ -724,22 +745,25 @@ func timed(o options, rng *rand.Rand, send func() (*http.Response, error)) sampl
 
 // aggregate accumulates samples; single-goroutine (the collector).
 type aggregate struct {
-	recLat      []float64
-	recOK       int
-	recHits     int
-	recRetries  int
-	nextLat     []float64
-	nextOK      int
-	nextHits    int
-	nextRetries int
-	obsOK       int
-	obsShed     int
-	obsBad      int
-	obsRetries  int
-	shed503     int
-	missed504   int
-	other       int
-	models      map[string]*modelAgg
+	recLat         []float64
+	recOK          int
+	recHits        int
+	recRetries     int
+	recNetRetries  int
+	nextLat        []float64
+	nextOK         int
+	nextHits       int
+	nextRetries    int
+	nextNetRetries int
+	obsOK          int
+	obsShed        int
+	obsBad         int
+	obsRetries     int
+	obsNetRetries  int
+	shed503        int
+	missed504      int
+	other          int
+	models         map[string]*modelAgg
 }
 
 // modelAgg is the client-side view of one routed model's traffic.
@@ -751,6 +775,7 @@ type modelAgg struct {
 func (a *aggregate) add(s sample) {
 	if s.observe {
 		a.obsRetries += s.retries
+		a.obsNetRetries += s.netRetries
 		switch s.status {
 		case http.StatusOK:
 			a.obsOK++
@@ -765,6 +790,7 @@ func (a *aggregate) add(s sample) {
 	}
 	if s.next {
 		a.nextRetries += s.retries
+		a.nextNetRetries += s.netRetries
 		switch s.status {
 		case http.StatusOK:
 			a.nextOK++
@@ -783,6 +809,7 @@ func (a *aggregate) add(s sample) {
 		return
 	}
 	a.recRetries += s.retries
+	a.recNetRetries += s.netRetries
 	switch s.status {
 	case http.StatusOK:
 		a.recOK++
@@ -840,6 +867,7 @@ type benchReport struct {
 		P99ms        float64 `json:"p99_ms"`
 		CacheHitFrac float64 `json:"client_cache_hit_frac"`
 		Retries      int     `json:"retries"`
+		NetRetries   int     `json:"net_retries"`
 	} `json:"recommend"`
 	Next struct {
 		OK           int     `json:"ok"`
@@ -849,12 +877,14 @@ type benchReport struct {
 		P99ms        float64 `json:"p99_ms"`
 		CacheHitFrac float64 `json:"client_cache_hit_frac"`
 		Retries      int     `json:"retries"`
+		NetRetries   int     `json:"net_retries"`
 	} `json:"next"`
 	Observe struct {
-		OK      int `json:"ok"`
-		Shed    int `json:"shed"`
-		Bad     int `json:"bad_request"`
-		Retries int `json:"retries"`
+		OK         int `json:"ok"`
+		Shed       int `json:"shed"`
+		Bad        int `json:"bad_request"`
+		Retries    int `json:"retries"`
+		NetRetries int `json:"net_retries"`
 	} `json:"observe"`
 	Models map[string]clientModelStats `json:"models,omitempty"`
 	Errors struct {
@@ -924,6 +954,7 @@ func (a *aggregate) report(o options, elapsed time.Duration) benchReport {
 		r.Recommend.CacheHitFrac = float64(a.recHits) / float64(a.recOK)
 	}
 	r.Recommend.Retries = a.recRetries
+	r.Recommend.NetRetries = a.recNetRetries
 	r.Next.OK = a.nextOK
 	r.Next.RPS = float64(a.nextOK) / elapsed.Seconds()
 	r.Next.P50ms, r.Next.P95ms, r.Next.P99ms = percentiles(a.nextLat)
@@ -931,6 +962,7 @@ func (a *aggregate) report(o options, elapsed time.Duration) benchReport {
 		r.Next.CacheHitFrac = float64(a.nextHits) / float64(a.nextOK)
 	}
 	r.Next.Retries = a.nextRetries
+	r.Next.NetRetries = a.nextNetRetries
 	for model, m := range a.models {
 		if model == "" {
 			continue
@@ -949,6 +981,7 @@ func (a *aggregate) report(o options, elapsed time.Duration) benchReport {
 	r.Observe.Shed = a.obsShed
 	r.Observe.Bad = a.obsBad
 	r.Observe.Retries = a.obsRetries
+	r.Observe.NetRetries = a.obsNetRetries
 	r.Errors.Shed503 = a.shed503
 	r.Errors.Deadline504 = a.missed504
 	r.Errors.Other = a.other

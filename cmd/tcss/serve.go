@@ -78,6 +78,7 @@ Flags:
 		syncEvery     = fs.Duration("sync-every", 500*time.Millisecond, "replica snapshot-shipping poll interval")
 		syncWait      = fs.Duration("sync-wait", 30*time.Second, "replica budget for the initial sync against the primary")
 		firstGenFlag  = fs.Uint64("first-gen", 0, "snapshot generation to publish at startup (overrides a loaded model's)")
+		maxGenLag     = fs.Uint64("max-gen-lag", 0, "replica staleness bound: report degraded health when this many generations behind the primary (0 = unbounded)")
 
 		seqModels = fs.String("seq", "", "comma-separated sequential models to train and register for /v1/next: STRNN, STGN, STAN")
 		seqEpochs = fs.Int("seq-epochs", 3, "sequential model training epochs")
@@ -336,6 +337,7 @@ Flags:
 		CoalesceWindow:  *coalesceWin,
 		CoalesceBatch:   *coalesceBatch,
 		ShardName:       *shardName,
+		MaxGenLag:       *maxGenLag,
 		Role:            role,
 		Registry:        reg,
 	}
@@ -372,6 +374,11 @@ Flags:
 			Primary:  strings.TrimRight(*replicaOf, "/"),
 			Dist:     dist,
 			Interval: *syncEvery,
+			// One sync cycle may legitimately take as long as the initial
+			// catch-up budget allows (a full snapshot on a loaded host);
+			// the timeout exists to unwedge hung primaries, not to race
+			// slow-but-progressing transfers.
+			SyncTimeout: *syncWait,
 		}
 		deadline := time.Now().Add(*syncWait)
 		for {

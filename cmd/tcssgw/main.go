@@ -42,6 +42,13 @@ func main() {
 		shards = flag.String("shards", "", "cluster topology: name=primaryURL[,replicaURL...] joined by ';'")
 		vnodes = flag.Int("vnodes", 0, "ring virtual nodes per shard (0 = default; must match the shards')")
 
+		readBudget    = flag.Duration("read-budget", 0, "total deadline budget per read across all failover attempts (0 = 2s default; clients lower it per-request with X-Deadline-Budget)")
+		perTryTimeout = flag.Duration("per-try-timeout", 0, "cap on a single backend attempt (0 = 1s default, always clamped to the remaining budget)")
+		retryRate     = flag.Float64("retry-rate", 0, "retry-budget refill rate in tokens/s charged per failover or hedge attempt (0 = 10/s default)")
+		retryBurst    = flag.Float64("retry-burst", 0, "retry-budget bucket size (0 = 20 default)")
+		hedge         = flag.Bool("hedge", false, "hedge GET /v1/recommend: race a second candidate if the first is slow")
+		hedgeDelay    = flag.Duration("hedge-delay", 0, "how long to wait before firing the hedge attempt (0 = 30ms default)")
+
 		spawn      = flag.Int("spawn", 0, "spawn a local cluster with this many shards instead of using -shards")
 		replicas   = flag.Int("replicas", 1, "replicas per spawned shard")
 		portBase   = flag.Int("port-base", 9100, "first port for spawned nodes (sequential from here)")
@@ -88,7 +95,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	gw, err := cluster.NewGateway(sets, cluster.GatewayOptions{Vnodes: *vnodes})
+	gw, err := cluster.NewGateway(sets, cluster.GatewayOptions{
+		Vnodes:        *vnodes,
+		ReadBudget:    *readBudget,
+		PerTryTimeout: *perTryTimeout,
+		RetryRate:     *retryRate,
+		RetryBurst:    *retryBurst,
+		Hedge:         *hedge,
+		HedgeDelay:    *hedgeDelay,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcssgw:", err)
 		os.Exit(1)

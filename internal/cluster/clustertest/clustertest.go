@@ -39,6 +39,11 @@ type Config struct {
 	Seed     int64
 	Serve    serve.Options // base options applied to every node
 
+	// Gateway carries gateway tuning (hedging, retry budget, deadline
+	// budgets, cooldowns) through to cluster.NewGateway; Vnodes and Client
+	// are overridden by the harness (Client is always the chaos transport).
+	Gateway cluster.GatewayOptions
+
 	// SeqModel, when non-empty, registers this sequential baseline (STRNN,
 	// STGN or STAN) on every node so the cluster serves POST /v1/next.
 	// Training is seeded, so every node's copy is bit-identical and failover
@@ -78,6 +83,10 @@ type Node struct {
 	URL    string
 	Faults *fault.Hooks // the node's write-path fault seam
 	Repl   *cluster.Replicator
+	// Net is the replicator's network fault seam (replicas only): faults
+	// armed here sit on this replica's path to its primary — a one-way
+	// partition the gateway and other replicas never see.
+	Net *fault.Transport
 
 	http        *httptest.Server
 	dead        atomic.Bool
@@ -150,6 +159,12 @@ type Cluster struct {
 	Shards     []*Shard
 	Config     Config
 
+	// Net is the gateway's network fault seam: faults armed here sit between
+	// the gateway and the targeted endpoint (one-way — replicators keep their
+	// own transports), so a partitioned primary is unreachable for reads yet
+	// still ships snapshots to its replicas.
+	Net *fault.Transport
+
 	t    *testing.T
 	gw   *httptest.Server
 	base *tcss.Recommender // shared immutable model for replicas and Dist grafting
@@ -182,10 +197,12 @@ func New(t *testing.T, cfg Config) *Cluster {
 		set := cluster.ShardSet{Name: name, Primary: sh.Primary.URL}
 		for rI := 0; rI < cfg.Replicas; rI++ {
 			rep := c.newNode(t, fmt.Sprintf("%s-replica-%d", name, rI+1), name, "replica", ring)
+			rep.Net = fault.NewTransport(nil, cfg.Seed+int64(i*100+rI+1))
 			rep.Repl = &cluster.Replicator{
 				Server:  rep.Server,
 				Primary: sh.Primary.URL,
 				Dist:    c.base.Side.Dist,
+				Client:  &http.Client{Transport: rep.Net},
 			}
 			sh.Replicas = append(sh.Replicas, rep)
 			set.Replicas = append(set.Replicas, rep.URL)
@@ -194,7 +211,11 @@ func New(t *testing.T, cfg Config) *Cluster {
 		sets[i] = set
 	}
 
-	gw, err := cluster.NewGateway(sets, cluster.GatewayOptions{Vnodes: cfg.Vnodes})
+	c.Net = fault.NewTransport(nil, cfg.Seed)
+	gwOpts := cfg.Gateway
+	gwOpts.Vnodes = cfg.Vnodes
+	gwOpts.Client = &http.Client{Transport: c.Net}
+	gw, err := cluster.NewGateway(sets, gwOpts)
 	if err != nil {
 		t.Fatal(err)
 	}

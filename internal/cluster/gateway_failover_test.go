@@ -1,0 +1,104 @@
+package cluster_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"tcss/internal/cluster"
+)
+
+// recordingBackend captures every request body it receives, then answers
+// with a fixed status and body.
+type recordingBackend struct {
+	mu      sync.Mutex
+	bodies  [][]byte
+	budgets []string
+	status  int
+	reply   string
+}
+
+func (b *recordingBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	raw, _ := io.ReadAll(r.Body)
+	b.mu.Lock()
+	b.bodies = append(b.bodies, raw)
+	b.budgets = append(b.budgets, r.Header.Get(cluster.DeadlineBudgetHeader))
+	b.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(b.status)
+	io.WriteString(w, b.reply)
+}
+
+func (b *recordingBackend) snapshot() ([][]byte, []string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([][]byte(nil), b.bodies...), append([]string(nil), b.budgets...)
+}
+
+// TestGatewayNextFailoverReplaysBody pins down the POST /v1/next failover
+// contract at the wire level: when the primary answers a retriable status,
+// the gateway replays the buffered request body byte-identically to the
+// replica, tags the response with the winning backend, relays the winner's
+// bytes untouched, and stamps a deadline budget onto both hops.
+func TestGatewayNextFailoverReplaysBody(t *testing.T) {
+	primary := &recordingBackend{status: http.StatusServiceUnavailable, reply: `{"error":"draining"}`}
+	replica := &recordingBackend{status: http.StatusOK, reply: `{"items":[{"poi":9}]}`}
+	ps := httptest.NewServer(primary)
+	defer ps.Close()
+	rs := httptest.NewServer(replica)
+	defer rs.Close()
+
+	gw, err := cluster.NewGateway(
+		[]cluster.ShardSet{{Name: "s0", Primary: ps.URL, Replicas: []string{rs.URL}}},
+		cluster.GatewayOptions{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(gw.Handler())
+	defer hs.Close()
+
+	body := `{"checkins":[{"poi":1,"t":0},{"poi":5,"t":2}]}`
+	resp, err := http.Post(hs.URL+"/v1/next?user=3&n=5", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover next: status %d: %s", resp.StatusCode, got)
+	}
+	if string(got) != replica.reply {
+		t.Fatalf("gateway relayed %q, want the replica's bytes %q", got, replica.reply)
+	}
+	if s := resp.Header.Get("X-Shard"); s != "s0" {
+		t.Fatalf("X-Shard %q, want s0", s)
+	}
+	if b := resp.Header.Get("X-Backend"); b != rs.URL {
+		t.Fatalf("X-Backend %q, want winning replica %q", b, rs.URL)
+	}
+
+	pBodies, pBudgets := primary.snapshot()
+	rBodies, rBudgets := replica.snapshot()
+	if len(pBodies) != 1 || len(rBodies) != 1 {
+		t.Fatalf("primary saw %d requests, replica %d, want 1 each", len(pBodies), len(rBodies))
+	}
+	if !bytes.Equal(pBodies[0], []byte(body)) {
+		t.Fatalf("primary received %q, want original body %q", pBodies[0], body)
+	}
+	if !bytes.Equal(rBodies[0], pBodies[0]) {
+		t.Fatalf("replayed body %q differs from first attempt %q", rBodies[0], pBodies[0])
+	}
+	if pBudgets[0] == "" || rBudgets[0] == "" {
+		t.Fatalf("hops missing %s: primary %q, replica %q",
+			cluster.DeadlineBudgetHeader, pBudgets[0], rBudgets[0])
+	}
+}

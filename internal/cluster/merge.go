@@ -159,6 +159,14 @@ type clusterMetrics struct {
 		Failovers      int64 `json:"failovers"`
 		BackendErrors  int64 `json:"backend_errors"`
 		ObserveFanouts int64 `json:"observe_fanouts"`
+		// Resilience counters: token-charged retries, retries refused by the
+		// drained token bucket, hedged attempts fired and won, and reads that
+		// 504ed on a drained deadline budget.
+		Retries              int64 `json:"retries"`
+		RetryBudgetExhausted int64 `json:"retry_budget_exhausted"`
+		Hedges               int64 `json:"hedges"`
+		HedgeWins            int64 `json:"hedge_wins"`
+		DeadlineMissed       int64 `json:"deadline_504"`
 	} `json:"gateway"`
 
 	PerEndpoint []endpointMetrics `json:"per_endpoint"`
@@ -218,7 +226,11 @@ func fetchAll[T any](ctx context.Context, g *Gateway, path string) []endpointRes
 		go func(i int, ep taggedEndpoint) {
 			defer wg.Done()
 			out[i].ep = ep
-			req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep.url+path, nil)
+			// Bound each fan-out fetch by the per-try timeout so one hung
+			// endpoint delays the merge, not wedges it.
+			fctx, cancel := context.WithTimeout(ctx, g.perTry)
+			defer cancel()
+			req, err := http.NewRequestWithContext(fctx, http.MethodGet, ep.url+path, nil)
 			if err != nil {
 				out[i].err = err
 				return
@@ -332,6 +344,11 @@ func (g *Gateway) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	out.Gateway.Failovers = g.met.failovers.Load()
 	out.Gateway.BackendErrors = g.met.backendErrors.Load()
 	out.Gateway.ObserveFanouts = g.met.observeFanouts.Load()
+	out.Gateway.Retries = g.met.retries.Load()
+	out.Gateway.RetryBudgetExhausted = g.met.retryExhausted.Load()
+	out.Gateway.Hedges = g.met.hedges.Load()
+	out.Gateway.HedgeWins = g.met.hedgeWins.Load()
+	out.Gateway.DeadlineMissed = g.met.deadlineMissed.Load()
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)

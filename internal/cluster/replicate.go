@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -28,12 +30,24 @@ type Replicator struct {
 	// static matrix).
 	Dist *geo.DistanceMatrix
 	// Client is the HTTP client for fetches; http.DefaultClient when nil.
+	// Hung primaries are bounded by SyncTimeout, not a client-wide timeout.
 	Client *http.Client
 	// Interval is the Run poll period; 500ms when zero. Tests drive SyncOnce
 	// directly and never wait on this.
 	Interval time.Duration
+	// SyncTimeout bounds one SyncOnce cycle (fetch + decode + publish); 10s
+	// when zero. Without it a hung primary would wedge the sync goroutine
+	// forever — the replica would stop converging and never report why.
+	SyncTimeout time.Duration
+	// MaxBackoff caps the jittered exponential backoff Run applies after
+	// consecutive sync failures; 16× the interval when zero.
+	MaxBackoff time.Duration
+	// Seed makes the backoff jitter deterministic in tests; 0 seeds from the
+	// primary URL so concurrently-started replicas don't sync in lockstep.
+	Seed int64
 
-	last atomic.Uint64 // generation of the last applied shipment
+	last       atomic.Uint64 // generation of the last applied shipment
+	primaryGen atomic.Uint64 // newest generation the primary has advertised
 }
 
 // Generation returns the last generation this replicator applied (zero before
@@ -48,10 +62,44 @@ func (r *Replicator) client() *http.Client {
 	return http.DefaultClient
 }
 
+// PrimaryGeneration returns the newest generation the primary has advertised
+// to this replicator (zero before the first reachable sync). The gap between
+// it and the replica's own generation is the replica's staleness.
+func (r *Replicator) PrimaryGeneration() uint64 { return r.primaryGen.Load() }
+
+// notePrimaryGen records the generation the primary advertised in a shipment
+// response and forwards it to the replica server so /healthz and /metrics can
+// report generation lag against MaxGenLag.
+func (r *Replicator) notePrimaryGen(resp *http.Response) {
+	raw := resp.Header.Get("X-Generation")
+	if raw == "" {
+		return
+	}
+	gen, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := r.primaryGen.Load()
+		if gen <= cur || r.primaryGen.CompareAndSwap(cur, gen) {
+			break
+		}
+	}
+	r.Server.SetPrimaryGeneration(gen)
+}
+
 // SyncOnce performs one poll-fetch-publish cycle and reports the replica's
-// generation afterwards plus whether a new snapshot was applied. Every
-// outcome is recorded in the replica's /metrics via RecordReplication.
+// generation afterwards plus whether a new snapshot was applied. The whole
+// cycle runs under SyncTimeout, so a hung primary costs one bounded failed
+// sync instead of a wedged goroutine. Every outcome is recorded in the
+// replica's /metrics via RecordReplication.
 func (r *Replicator) SyncOnce(ctx context.Context) (gen uint64, applied bool, err error) {
+	timeout := r.SyncTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
 	after := r.last.Load()
 	if cur := r.Server.Generation(); cur > after {
 		after = cur // don't re-fetch what bootstrap already gave us
@@ -68,6 +116,7 @@ func (r *Replicator) SyncOnce(ctx context.Context) (gen uint64, applied bool, er
 		return after, false, fmt.Errorf("cluster: fetching shipment: %w", err)
 	}
 	defer resp.Body.Close()
+	r.notePrimaryGen(resp)
 	switch resp.StatusCode {
 	case http.StatusNoContent:
 		// Already current: a successful sync that shipped nothing.
@@ -108,22 +157,55 @@ func (r *Replicator) SyncOnce(ctx context.Context) (gen uint64, applied bool, er
 	return gen, gen == shippedGen, nil
 }
 
-// Run polls SyncOnce every Interval until ctx is cancelled. Real deployments
-// run this in a goroutine; tests call SyncOnce directly for deterministic,
+// Run polls SyncOnce every Interval until ctx is cancelled, backing off
+// exponentially (with seeded jitter) on consecutive failures so a struggling
+// primary isn't hammered by every replica at full poll rate: after k straight
+// failures the next poll waits interval·2^k, jittered to [wait/2, wait) and
+// capped at MaxBackoff. One success resets the cadence. Real deployments run
+// this in a goroutine; tests call SyncOnce directly for deterministic,
 // sleep-free replication.
 func (r *Replicator) Run(ctx context.Context) {
 	interval := r.Interval
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
 	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	maxBackoff := r.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 16 * interval
+	}
+	seed := r.Seed
+	if seed == 0 {
+		for _, c := range r.Primary {
+			seed = seed*31 + int64(c)
+		}
+		seed++ // never 0: rand.NewSource(0) is valid but keep intent explicit
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	var fails int
+	wait := interval
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
-			r.SyncOnce(ctx) // errors are in /metrics; keep polling
+		case <-timer.C:
+			if _, _, err := r.SyncOnce(ctx); err != nil && ctx.Err() == nil {
+				// Errors are in /metrics; back off and keep polling.
+				if fails < 30 {
+					fails++
+				}
+				backoff := interval << uint(fails)
+				if backoff <= 0 || backoff > maxBackoff {
+					backoff = maxBackoff
+				}
+				wait = backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)))
+			} else {
+				fails = 0
+				wait = interval
+			}
+			timer.Reset(wait)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"tcss"
 	"tcss/internal/core"
@@ -166,11 +167,28 @@ func intParam(r *http.Request, name string, def int, required bool) (int, error)
 	return v, nil
 }
 
+// requestTimeout resolves the per-request deadline: the configured
+// RequestTimeout, clamped down to the gateway's X-Deadline-Budget header when
+// one arrives — once the gateway's budget for this hop is spent nobody is
+// waiting for the answer, so working longer only burns scoring slots.
+func (s *Server) requestTimeout(r *http.Request) time.Duration {
+	timeout := s.opts.RequestTimeout
+	if raw := r.Header.Get("X-Deadline-Budget"); raw != "" {
+		if ms, err := strconv.ParseInt(raw, 10, 64); err == nil && ms > 0 {
+			if budget := time.Duration(ms) * time.Millisecond; budget < timeout {
+				s.met.budgetClamped.Add(1)
+				return budget
+			}
+		}
+	}
+	return timeout
+}
+
 // admitRead runs the shared read-path front door: per-request deadline,
 // bounded admission, and the test hold hook. On nil cleanup the response has
 // already been written.
 func (s *Server) admitRead(w http.ResponseWriter, r *http.Request) (context.Context, func()) {
-	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(r))
 	switch s.adm.acquire(ctx) {
 	case shedOverflow:
 		cancel()
@@ -263,6 +281,7 @@ func (s *Server) serveRecommend(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", "HIT")
 		w.Header().Set("X-Model", dec.Model)
+		w.Header().Set("X-Generation", strconv.FormatUint(key.gen, 10))
 		w.Write(body)
 		dur := s.opts.now().Sub(started)
 		s.met.recommendLat.observe(dur)
@@ -303,6 +322,7 @@ func (s *Server) serveRecommend(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", "MISS")
 	w.Header().Set("X-Model", dec.Model)
+	w.Header().Set("X-Generation", strconv.FormatUint(gen, 10))
 	w.Write(body)
 	dur := s.opts.now().Sub(started)
 	s.met.recommendLat.observe(dur)
@@ -443,6 +463,7 @@ func (s *Server) serveNext(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", "HIT")
 		w.Header().Set("X-Model", dec.Model)
+		w.Header().Set("X-Generation", strconv.FormatUint(key.gen, 10))
 		w.Write(body)
 		dur := s.opts.now().Sub(started)
 		s.met.nextLat.observe(dur)
@@ -488,6 +509,7 @@ func (s *Server) serveNext(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", "MISS")
 	w.Header().Set("X-Model", dec.Model)
+	w.Header().Set("X-Generation", strconv.FormatUint(gen, 10))
 	w.Write(body)
 	dur := s.opts.now().Sub(started)
 	s.met.nextLat.observe(dur)
@@ -572,6 +594,7 @@ func (s *Server) serveExplain(w http.ResponseWriter, r *http.Request) {
 	ex := snap.Model.Explain(snap.Side, user, poi, t)
 	release()
 
+	w.Header().Set("X-Generation", strconv.FormatUint(snap.Gen, 10))
 	writeJSON(w, http.StatusOK, explainResponse{
 		User: user, POI: poi, T: t, Generation: snap.Gen,
 		Score:            ex.Score,
@@ -735,7 +758,7 @@ func (s *Server) serveObserve(w http.ResponseWriter, r *http.Request) {
 		s.shed(w, "observe queue")
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(r))
 	defer cancel()
 	select {
 	case res := <-cmd.reply:
@@ -813,6 +836,9 @@ type healthResponse struct {
 	// Shard and Role identify this node inside a cluster; empty standalone.
 	Shard string `json:"shard,omitempty"`
 	Role  string `json:"role,omitempty"`
+	// GenLag is how many generations this node trails its primary's newest
+	// advertised generation (replicas only; omitted when current).
+	GenLag uint64 `json:"generation_lag,omitempty"`
 	// Reason and Breaker appear when Status is "degraded": why the write
 	// path is down, and the breaker state ("open" or "half_open").
 	Reason  string `json:"reason,omitempty"`
@@ -820,8 +846,9 @@ type healthResponse struct {
 }
 
 // serveHealthz reports three states: "ok" (200), "degraded" (200 — reads
-// still serve the last good snapshot, writes are breaker-rejected; the body
-// says why), and "no snapshot" (503 — nothing to serve).
+// still serve the last good snapshot; the body says why: breaker-rejected
+// writes, draining, or a replica past its staleness bound), and "no
+// snapshot" (503 — nothing to serve).
 func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.load()
 	if snap == nil || snap.Model == nil {
@@ -834,6 +861,7 @@ func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 		AgeSeconds: s.opts.now().Sub(snap.Created).Seconds(),
 		Shard:      s.opts.ShardName,
 		Role:       s.opts.Role,
+		GenLag:     s.genLag(snap.Gen),
 	}
 	if state, reason, _ := s.brk.status(); state != "closed" {
 		resp.Status = "degraded"
@@ -842,6 +870,13 @@ func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 	} else if s.closing.Load() {
 		resp.Status = "degraded"
 		resp.Reason = "server draining"
+	} else if s.opts.MaxGenLag > 0 && resp.GenLag > s.opts.MaxGenLag {
+		// Past the staleness bound: still serving the last good snapshot,
+		// but loudly — the gateway deprioritizes degraded replicas and the
+		// chaos invariants treat answers beyond the bound as violations.
+		resp.Status = "degraded"
+		resp.Reason = fmt.Sprintf("staleness: %d generations behind primary (bound %d)",
+			resp.GenLag, s.opts.MaxGenLag)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

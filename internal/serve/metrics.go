@@ -82,6 +82,7 @@ type metrics struct {
 	badRequest     atomic.Int64 // 400s
 	shed           atomic.Int64 // 503s from admission or observe queue
 	deadlineMissed atomic.Int64 // 504s
+	budgetClamped  atomic.Int64 // requests whose X-Deadline-Budget undercut RequestTimeout
 	internalErrors atomic.Int64 // 500s
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
@@ -206,13 +207,18 @@ type metricsSnapshot struct {
 
 	// Replication reports the snapshot-shipping pipeline: shipments this
 	// node served to replicas, and — on replicas — publishes applied, sync
-	// fetches, failures, and shipments rejected by the CRC frame.
+	// fetches, failures, shipments rejected by the CRC frame, plus the
+	// staleness view (the primary's newest advertised generation, how many
+	// generations this node trails it, and the configured bound).
 	Replication struct {
-		ShipmentsServed  int64 `json:"shipments_served"`
-		Applied          int64 `json:"applied"`
-		Syncs            int64 `json:"syncs"`
-		Failures         int64 `json:"failures"`
-		ChecksumRejected int64 `json:"checksum_rejected"`
+		ShipmentsServed   int64  `json:"shipments_served"`
+		Applied           int64  `json:"applied"`
+		Syncs             int64  `json:"syncs"`
+		Failures          int64  `json:"failures"`
+		ChecksumRejected  int64  `json:"checksum_rejected"`
+		PrimaryGeneration uint64 `json:"primary_generation,omitempty"`
+		GenerationLag     uint64 `json:"generation_lag,omitempty"`
+		MaxGenLag         uint64 `json:"max_generation_lag,omitempty"`
 	} `json:"replication"`
 
 	// Model reports the resident factor storage of the served snapshot:
@@ -264,6 +270,9 @@ type metricsSnapshot struct {
 		Queued      int64 `json:"queued"`
 		MaxInflight int   `json:"max_inflight"`
 		MaxQueue    int   `json:"max_queue"`
+		// BudgetClamped counts requests whose X-Deadline-Budget header was
+		// tighter than RequestTimeout — deadline propagation in action.
+		BudgetClamped int64 `json:"deadline_budget_clamped"`
 	} `json:"admission"`
 
 	Reliability struct {
@@ -311,6 +320,8 @@ func (s *Server) collectMetrics(includeWindows bool) metricsSnapshot {
 	out.Replication.Syncs = m.replicationSyncs.Load()
 	out.Replication.Failures = m.replicationFails.Load()
 	out.Replication.ChecksumRejected = m.replicationCRC.Load()
+	out.Replication.PrimaryGeneration = s.primaryGen.Load()
+	out.Replication.MaxGenLag = s.opts.MaxGenLag
 
 	if includeWindows {
 		out.Windows = &latencyWindows{
@@ -337,6 +348,7 @@ func (s *Server) collectMetrics(includeWindows bool) metricsSnapshot {
 
 	if snap := s.snap.load(); snap != nil {
 		out.Snapshot.Generation = snap.Gen
+		out.Replication.GenerationLag = s.genLag(snap.Gen)
 		out.Snapshot.AgeSeconds = s.opts.now().Sub(snap.Created).Seconds()
 		out.Model.Storage = snap.Model.Mode.String()
 		out.Model.FactorBytes = snap.Model.FactorBytes()
@@ -379,6 +391,7 @@ func (s *Server) collectMetrics(includeWindows bool) metricsSnapshot {
 	out.Admission.Queued = s.adm.waiting.Load()
 	out.Admission.MaxInflight = s.adm.maxInflight
 	out.Admission.MaxQueue = s.adm.maxQueue
+	out.Admission.BudgetClamped = m.budgetClamped.Load()
 
 	out.Reliability.ObserveFailures = m.observeFailures.Load()
 	out.Reliability.SaveFailures = m.saveFailures.Load()

@@ -125,6 +125,13 @@ type Options struct {
 	ShardName string
 	Role      string
 
+	// MaxGenLag is the staleness bound for replicas: once the served snapshot
+	// trails the primary's advertised generation by more than this many
+	// generations, /healthz reports degraded (reason "staleness") so the
+	// gateway deprioritizes the replica. 0 disables the bound. The current
+	// lag is always reported in /metrics' replication block.
+	MaxGenLag uint64
+
 	// Owns, when non-nil, restricts the users this node answers for: a
 	// request for a user outside the partition is rejected with 421
 	// (Misdirected Request) instead of being served, so a gateway/shard ring
@@ -332,9 +339,37 @@ type Server struct {
 
 	scratch sync.Pool // *core.RecScratch
 
+	// primaryGen is the newest generation this node's primary has advertised
+	// (replicas only; fed by the replicator via SetPrimaryGeneration). The gap
+	// to the served snapshot's generation is the replica's staleness, bounded
+	// by Options.MaxGenLag.
+	primaryGen atomic.Uint64
+
 	// onSwap, when set (tests), observes every published snapshot, including
 	// the initial one, from the publishing goroutine.
 	onSwap func(*Snapshot)
+}
+
+// SetPrimaryGeneration records the newest generation the primary is known to
+// serve. The replicator calls this on every reachable sync; /healthz turns
+// degraded and /metrics reports the lag once the replica falls more than
+// Options.MaxGenLag generations behind.
+func (s *Server) SetPrimaryGeneration(gen uint64) {
+	for {
+		cur := s.primaryGen.Load()
+		if gen <= cur || s.primaryGen.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
+}
+
+// genLag returns how many generations the served snapshot trails the primary
+// (zero when current, standalone, or before the first sync).
+func (s *Server) genLag(served uint64) uint64 {
+	if p := s.primaryGen.Load(); p > served {
+		return p - served
+	}
+	return 0
 }
 
 // New builds a Server around a fitted Recommender and starts its update

@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Network chaos end-to-end smoke.
+#
+# Spawns a real 2-shard × 1-replica cluster of `tcss serve` processes on a
+# deterministic synthetic model, interposes a chaosproxy on the gateway's
+# link to shard-0's primary, and drives a closed-loop burst of verified load
+# through a tcssgw gateway while the proxy walks a fault schedule: 503 burst,
+# indefinite hang, heal. The load generator recomputes every recommend
+# response from its own local copy of the synthetic model and exits nonzero
+# on any mismatch, so the invariant under chaos is exact: every 200 the
+# client sees is bit-identical to the correct answer, no matter which
+# endpoint survived to serve it. The harness then requires that faults
+# actually fired, that the gateway failed over, and that the healed cluster
+# reports healthy.
+#
+# Tunables (env): CHAOS_SMOKE_USERS, _DURATION, _CONNS, _PORT_BASE, _GW_PORT,
+# _PROXY_PORT, _ADMIN_PORT, _OUT (bench JSON destination).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+USERS="${CHAOS_SMOKE_USERS:-20000}"
+DURATION="${CHAOS_SMOKE_DURATION:-8s}"
+CONNS="${CHAOS_SMOKE_CONNS:-8}"
+PORT_BASE="${CHAOS_SMOKE_PORT_BASE:-19210}"
+GW_PORT="${CHAOS_SMOKE_GW_PORT:-18096}"
+PROXY_PORT="${CHAOS_SMOKE_PROXY_PORT:-19301}"
+ADMIN_PORT="${CHAOS_SMOKE_ADMIN_PORT:-19302}"
+POIS=1000
+TIMES=12
+RANK=8
+SEED=7
+
+WORK="$(mktemp -d /tmp/tcss_chaos_smoke.XXXXXX)"
+OUT="${CHAOS_SMOKE_OUT:-$WORK/bench_chaos.json}"
+GW_URL="http://127.0.0.1:${GW_PORT}"
+ADMIN_URL="http://127.0.0.1:${ADMIN_PORT}"
+PIDS=()
+
+cleanup() {
+    for pid in "${PIDS[@]}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for pid in "${PIDS[@]}"; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "chaos-smoke: building binaries..."
+go build -o "$WORK/tcss" ./cmd/tcss
+go build -o "$WORK/tcssgw" ./cmd/tcssgw
+go build -o "$WORK/loadgen" ./cmd/loadgen
+go build -o "$WORK/chaosproxy" ./cmd/chaosproxy
+
+# Four serve nodes on sequential ports: two primaries, then one replica each.
+P0="http://127.0.0.1:$((PORT_BASE))"
+P1="http://127.0.0.1:$((PORT_BASE + 1))"
+R0="http://127.0.0.1:$((PORT_BASE + 2))"
+R1="http://127.0.0.1:$((PORT_BASE + 3))"
+PROXY_URL="http://127.0.0.1:${PROXY_PORT}"
+
+spawn_node() {
+    local addr="$1"; shift
+    "$WORK/tcss" serve -addr "${addr#http://}" \
+        -shard-name "$1" -cluster-shards shard-0,shard-1 \
+        -seed "$SEED" -synth-users "$USERS" -synth-pois "$POIS" \
+        -synth-times "$TIMES" -synth-rank "$RANK" "${@:2}" &
+    PIDS+=($!)
+}
+
+wait_healthy() {
+    local url="$1" what="$2"
+    for _ in $(seq 1 300); do
+        if curl -fsS "$url/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.2
+    done
+    echo "chaos-smoke: $what never became healthy"; exit 1
+}
+
+echo "chaos-smoke: spawning 2 shards x 1 replica (synthetic, $USERS users)..."
+spawn_node "$P0" shard-0 -first-gen 1
+spawn_node "$P1" shard-1 -first-gen 1
+wait_healthy "$P0" "primary shard-0"
+wait_healthy "$P1" "primary shard-1"
+spawn_node "$R0" shard-0 -replica-of "$P0" -sync-wait 60s -max-gen-lag 64
+spawn_node "$R1" shard-1 -replica-of "$P1" -sync-wait 60s -max-gen-lag 64
+wait_healthy "$R0" "replica shard-0"
+wait_healthy "$R1" "replica shard-1"
+
+# The chaosproxy sits on exactly one link: gateway -> shard-0 primary.
+# Replication (replica -> primary) bypasses it, so this is a one-way fault.
+"$WORK/chaosproxy" -listen "127.0.0.1:${PROXY_PORT}" \
+    -admin "127.0.0.1:${ADMIN_PORT}" -target "$P0" &
+PIDS+=($!)
+
+# Explicit resilience knobs: a 2s total budget per read, 500ms per attempt,
+# and a generous retry bucket (the schedule must be survived by failover,
+# not refused by budget exhaustion).
+"$WORK/tcssgw" -listen "127.0.0.1:${GW_PORT}" \
+    -shards "shard-0=${PROXY_URL},${R0};shard-1=${P1},${R1}" \
+    -read-budget 2s -per-try-timeout 500ms -retry-rate 50 -retry-burst 100 &
+PIDS+=($!)
+wait_healthy "$GW_URL" "gateway"
+echo "chaos-smoke: cluster healthy behind $GW_URL (shard-0 primary proxied)"
+
+# Verified load: every recommend is recomputed locally and compared exactly;
+# one mismatched byte under any fault phase fails the run.
+"$WORK/loadgen" -url "$GW_URL" -users "$USERS" -pois "$POIS" -times "$TIMES" \
+    -synth-rank "$RANK" -seed "$SEED" -verify -observe-frac 0 \
+    -conns "$CONNS" -duration "$DURATION" -out "$OUT" &
+LG_PID=$!
+
+# Fault schedule against shard-0's primary link, mid-burst: a 503 burst
+# (failover on status), then an indefinite hang (failover on the per-try
+# deadline), then heal.
+sleep 1.5
+echo "chaos-smoke: inject error burst"
+curl -fsS -X POST "$ADMIN_URL/fault?mode=error" >/dev/null
+sleep 1.5
+echo "chaos-smoke: inject hang"
+curl -fsS -X POST "$ADMIN_URL/fault?mode=hang" >/dev/null
+sleep 2
+echo "chaos-smoke: heal"
+curl -fsS -X POST "$ADMIN_URL/fault?mode=pass" >/dev/null
+
+if ! wait "$LG_PID"; then
+    echo "chaos-smoke: FAIL — loadgen saw mismatched responses under chaos (see above)"
+    exit 1
+fi
+
+# The schedule must have actually bitten: the proxy injected faults, and the
+# gateway failed reads over to the replica.
+injected="$(curl -fsS "$ADMIN_URL/fault" | grep -o '"injected": *[0-9]*' | grep -o '[0-9]*$')"
+if [[ -z "$injected" || "$injected" -eq 0 ]]; then
+    echo "chaos-smoke: FAIL — proxy injected no faults (schedule never fired)"
+    exit 1
+fi
+metrics="$(curl -fsS "$GW_URL/metrics")"
+failovers="$(printf '%s' "$metrics" | grep -o '"failovers": *[0-9]*' | head -1 | grep -o '[0-9]*$')"
+if [[ -z "$failovers" || "$failovers" -eq 0 ]]; then
+    echo "chaos-smoke: FAIL — faults fired but gateway reports no failovers"
+    exit 1
+fi
+health_status="$(curl -s -o /dev/null -w '%{http_code}' "$GW_URL/healthz")"
+if [[ "$health_status" != "200" ]]; then
+    echo "chaos-smoke: FAIL — healthz returned $health_status after heal"
+    exit 1
+fi
+
+echo "chaos-smoke: PASS — $injected faults injected, $failovers failovers, zero mismatches, healthy after heal"
